@@ -1,0 +1,77 @@
+//! Precise iterative vector-array model.
+//!
+//! The paper's "VA-FP" baseline: a vector array of MAC units computing the
+//! nonlinear operations exactly with an iterative algorithm that takes
+//! 44 cycles per element (Section 5.2.2, citing division/exponential
+//! implementations). Functionally this is just the exact function; its value
+//! in the reproduction is the latency/energy accounting.
+
+use crate::Approximator;
+use mugi_numerics::nonlinear::NonlinearOp;
+
+/// Cycles per element for the precise iterative implementation, from the
+/// paper's baseline description.
+pub const PRECISE_CYCLES_PER_ELEMENT: u64 = 44;
+
+/// The precise vector-array "approximator" (exact values, long latency).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PreciseVectorArray {
+    op: NonlinearOp,
+}
+
+impl PreciseVectorArray {
+    /// Creates the precise evaluator for `op`.
+    pub fn new(op: NonlinearOp) -> Self {
+        PreciseVectorArray { op }
+    }
+}
+
+impl Approximator for PreciseVectorArray {
+    fn op(&self) -> NonlinearOp {
+        self.op
+    }
+
+    fn eval(&self, x: f32) -> f32 {
+        self.op.eval(x)
+    }
+
+    fn cycles_per_element(&self) -> u64 {
+        PRECISE_CYCLES_PER_ELEMENT
+    }
+
+    fn label(&self) -> String {
+        format!("Precise({})", self.op.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mugi_numerics::nonlinear::{gelu_erf, silu};
+
+    #[test]
+    fn outputs_are_exact() {
+        for x in [-3.0f32, -0.5, 0.0, 1.0, 4.2] {
+            assert_eq!(PreciseVectorArray::new(NonlinearOp::Silu).eval(x), silu(x));
+            assert_eq!(PreciseVectorArray::new(NonlinearOp::Gelu).eval(x), gelu_erf(x));
+            assert_eq!(PreciseVectorArray::new(NonlinearOp::Exp).eval(x), x.exp());
+        }
+    }
+
+    #[test]
+    fn latency_matches_paper_baseline() {
+        let p = PreciseVectorArray::new(NonlinearOp::Softmax);
+        assert_eq!(p.cycles_per_element(), 44);
+        assert!(p.label().contains("Precise"));
+    }
+
+    #[test]
+    fn softmax_through_trait_is_exact() {
+        let p = PreciseVectorArray::new(NonlinearOp::Softmax);
+        let probs = p.softmax(&[0.1, 0.9, -2.0]);
+        let exact = mugi_numerics::nonlinear::softmax(&[0.1, 0.9, -2.0]);
+        for (a, b) in probs.iter().zip(&exact) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

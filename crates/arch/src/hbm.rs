@@ -1,0 +1,83 @@
+//! Off-chip memory (HBM) bandwidth and energy model.
+//!
+//! The paper fixes HBM bandwidth at 256 GB/s and configures it so off-chip
+//! transfers never bottleneck compute; the model here checks that assumption
+//! per workload (so memory-bound configurations are reported as such) and
+//! accounts for access energy.
+
+use crate::cost::CostModel;
+use serde::{Deserialize, Serialize};
+
+/// An HBM channel model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Hbm {
+    /// Peak bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Access energy per byte in pJ.
+    pub energy_pj_per_byte: f64,
+}
+
+impl Hbm {
+    /// The paper's configuration (256 GB/s) with default energy.
+    pub fn paper_default(cost: &CostModel) -> Self {
+        Hbm {
+            bandwidth_bytes_per_s: cost.hbm_bandwidth_bytes_per_s,
+            energy_pj_per_byte: cost.hbm_energy_pj_per_byte,
+        }
+    }
+
+    /// Time in seconds to transfer `bytes`.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Cycles (at `frequency_hz`) to transfer `bytes`.
+    pub fn transfer_cycles(&self, bytes: u64, frequency_hz: f64) -> u64 {
+        (self.transfer_seconds(bytes) * frequency_hz).ceil() as u64
+    }
+
+    /// Energy in pJ to transfer `bytes`.
+    pub fn transfer_energy_pj(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.energy_pj_per_byte
+    }
+
+    /// Operational intensity (MACs per byte) required for compute to stay
+    /// ahead of this memory system at `macs_per_cycle` and `frequency_hz`.
+    pub fn required_intensity(&self, macs_per_cycle: f64, frequency_hz: f64) -> f64 {
+        (macs_per_cycle * frequency_hz) / self.bandwidth_bytes_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_bandwidth() {
+        let hbm = Hbm::paper_default(&CostModel::default_45nm());
+        assert!((hbm.bandwidth_bytes_per_s - 256e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn transfer_time_and_cycles() {
+        let hbm = Hbm { bandwidth_bytes_per_s: 256e9, energy_pj_per_byte: 7.0 };
+        // 256 GB takes one second.
+        assert!((hbm.transfer_seconds(256_000_000_000) - 1.0).abs() < 1e-9);
+        // At 400 MHz, 640 bytes take exactly one cycle.
+        assert_eq!(hbm.transfer_cycles(640, 400e6), 1);
+        assert_eq!(hbm.transfer_cycles(6400, 400e6), 10);
+        assert!((hbm.transfer_energy_pj(1000) - 7000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn required_intensity_scales_with_compute() {
+        let hbm = Hbm { bandwidth_bytes_per_s: 256e9, energy_pj_per_byte: 7.0 };
+        let slow = hbm.required_intensity(128.0, 400e6);
+        let fast = hbm.required_intensity(256.0, 400e6);
+        assert!((fast / slow - 2.0).abs() < 1e-9);
+        // A 256-MAC/cycle node at 400 MHz needs only ~0.4 MACs/byte, easily
+        // met by weight-reused GEMMs: confirms the paper's compute-bound
+        // assumption.
+        assert!(fast < 1.0);
+    }
+}

@@ -1,0 +1,451 @@
+//! The performance model: runs a `mugi-workloads` operator trace on a design
+//! and reports latency, energy, throughput and per-category breakdowns.
+//!
+//! This is the layer that produces the numbers behind Figures 11–17 and
+//! Table 3. For each transformer layer the model schedules compute events
+//! (GEMMs and nonlinear ops) against double-buffered weight fetches from HBM
+//! using the event engine, then scales to the full model and, optionally, to
+//! a multi-node NoC.
+
+use crate::cost::CostModel;
+use crate::designs::Design;
+use crate::engine::{Event, EventEngine, Resource};
+use crate::hbm::Hbm;
+use crate::noc::NocConfig;
+use mugi_workloads::ops::{GemmKind, OpTrace, WorkloadOp};
+use serde::{Deserialize, Serialize};
+
+/// Per-category cycle and energy breakdown, following Figures 15/16.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CategoryBreakdown {
+    /// Projection GEMMs.
+    pub projection: f64,
+    /// Attention GEMMs.
+    pub attention: f64,
+    /// FFN GEMMs.
+    pub ffn: f64,
+    /// Nonlinear operations.
+    pub nonlinear: f64,
+}
+
+impl CategoryBreakdown {
+    /// Total across categories.
+    pub fn total(&self) -> f64 {
+        self.projection + self.attention + self.ffn + self.nonlinear
+    }
+
+    /// Scales every category by a constant.
+    pub fn scale(&self, s: f64) -> Self {
+        CategoryBreakdown {
+            projection: self.projection * s,
+            attention: self.attention * s,
+            ffn: self.ffn * s,
+            nonlinear: self.nonlinear * s,
+        }
+    }
+
+    fn add_gemm(&mut self, kind: GemmKind, value: f64) {
+        match kind {
+            GemmKind::Projection => self.projection += value,
+            GemmKind::Attention => self.attention += value,
+            GemmKind::Ffn => self.ffn += value,
+        }
+    }
+}
+
+/// Performance of one node running one full model forward pass (all layers).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodePerformance {
+    /// Total cycles for the whole model (decode: one token step).
+    pub total_cycles: u64,
+    /// Per-category cycle breakdown.
+    pub cycle_breakdown: CategoryBreakdown,
+    /// Total dynamic energy in pJ.
+    pub dynamic_energy_pj: f64,
+    /// Per-category dynamic-energy breakdown (pJ).
+    pub energy_breakdown: CategoryBreakdown,
+    /// Leakage energy in pJ over the run.
+    pub leakage_energy_pj: f64,
+    /// Off-chip (HBM) energy in pJ.
+    pub hbm_energy_pj: f64,
+    /// Whether any layer was memory-bound rather than compute-bound.
+    pub memory_bound: bool,
+    /// Compute-resource utilization over the makespan (0..=1).
+    pub compute_utilization: f64,
+}
+
+/// Workload-level performance (tokens per second, efficiency metrics), the
+/// quantities reported in Table 3.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadPerformance {
+    /// Tokens generated per second (decode) or prompts per second (prefill).
+    pub tokens_per_second: f64,
+    /// Total node (or NoC) area in mm².
+    pub area_mm2: f64,
+    /// Energy per token in µJ.
+    pub energy_per_token_uj: f64,
+    /// Energy efficiency in tokens per second per µJ (Table 3's
+    /// Tokens/s/µJ column is equivalent to 1 / energy-per-token scaled by
+    /// throughput normalisation; we report tokens per µJ of energy).
+    pub tokens_per_uj: f64,
+    /// Average power in W.
+    pub average_power_w: f64,
+    /// Power efficiency in tokens per second per W.
+    pub tokens_per_s_per_w: f64,
+    /// Single-node performance the workload numbers were derived from.
+    pub node: NodePerformance,
+}
+
+/// The performance model: one design plus its memory system.
+#[derive(Clone, Debug)]
+pub struct PerfModel {
+    design: Design,
+    hbm: Hbm,
+}
+
+impl PerfModel {
+    /// Creates a performance model for `design` with the paper's HBM.
+    pub fn new(design: Design) -> Self {
+        let hbm = Hbm::paper_default(design.cost_model());
+        PerfModel { design, hbm }
+    }
+
+    /// Creates a performance model with an explicit HBM configuration (used by
+    /// the bandwidth-sensitivity ablation and to study memory-bound regimes).
+    pub fn with_hbm(design: Design, hbm: Hbm) -> Self {
+        PerfModel { design, hbm }
+    }
+
+    /// The design being modelled.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Runs one transformer layer's operator trace and scales it to the whole
+    /// model, returning the node-level performance.
+    pub fn run_trace(&self, trace: &OpTrace) -> NodePerformance {
+        let cost = self.design.cost_model();
+        let mut engine = EventEngine::new();
+        let mut cycle_breakdown = CategoryBreakdown::default();
+        let mut energy_breakdown = CategoryBreakdown::default();
+        let mut hbm_energy_pj = 0.0;
+        let mut compute_cycles_total = 0u64;
+
+        for op in &trace.layer_ops {
+            match op {
+                WorkloadOp::Gemm(gemm) => {
+                    let cycles = self.design.gemm_cycles(gemm);
+                    let energy = self.design.gemm_energy_pj(gemm);
+                    cycle_breakdown.add_gemm(gemm.kind, cycles as f64);
+                    energy_breakdown.add_gemm(gemm.kind, energy);
+                    compute_cycles_total += cycles;
+                    engine.submit(Event {
+                        resource: Resource::Compute,
+                        earliest_start: 0,
+                        duration: cycles,
+                    });
+                    // Weight / KV fetch from HBM (double buffered, so it only
+                    // matters if it exceeds the compute time).
+                    let bytes = gemm.weight_bytes() * gemm.repeats as u64;
+                    let mem_cycles = self.hbm.transfer_cycles(bytes, cost.frequency_hz);
+                    engine.submit(Event {
+                        resource: Resource::Memory,
+                        earliest_start: 0,
+                        duration: mem_cycles,
+                    });
+                    hbm_energy_pj += self.hbm.transfer_energy_pj(bytes);
+                }
+                WorkloadOp::Nonlinear(nl) => {
+                    let elements = nl.total_elements();
+                    let cycles = self.design.nonlinear_cycles(elements);
+                    let energy = self.design.nonlinear_energy_pj(elements);
+                    cycle_breakdown.nonlinear += cycles as f64;
+                    energy_breakdown.nonlinear += energy;
+                    compute_cycles_total += cycles;
+                    engine.submit(Event {
+                        resource: Resource::Compute,
+                        earliest_start: 0,
+                        duration: cycles,
+                    });
+                }
+            }
+        }
+
+        let (schedule, _) = engine.run();
+        let layer_cycles = schedule.makespan;
+        let layers = trace.model.layers as u64;
+        let total_cycles = layer_cycles * layers;
+        let memory_bound =
+            schedule.busy_cycles(Resource::Memory) > schedule.busy_cycles(Resource::Compute);
+        let compute_utilization = if layer_cycles == 0 {
+            0.0
+        } else {
+            compute_cycles_total as f64 / layer_cycles as f64
+        }
+        .min(1.0);
+
+        let dynamic_energy_pj = energy_breakdown.total() * layers as f64;
+        let runtime_s = cost.cycles_to_seconds(total_cycles);
+        let leakage_energy_pj = self.design.leakage_mw() * 1e-3 * runtime_s * 1e12;
+
+        NodePerformance {
+            total_cycles,
+            cycle_breakdown: cycle_breakdown.scale(layers as f64),
+            dynamic_energy_pj,
+            energy_breakdown: energy_breakdown.scale(layers as f64),
+            leakage_energy_pj,
+            hbm_energy_pj: hbm_energy_pj * layers as f64,
+            memory_bound,
+            compute_utilization,
+        }
+    }
+
+    /// Full workload evaluation on a single node: decode throughput in
+    /// tokens/s for the trace's batch size plus efficiency metrics.
+    pub fn evaluate(&self, trace: &OpTrace) -> WorkloadPerformance {
+        self.evaluate_noc(trace, NocConfig::single())
+    }
+
+    /// Full workload evaluation on a NoC of identical nodes. The model's
+    /// layers are tiled evenly across nodes (the paper's output-stationary
+    /// multi-node dataflow), so throughput scales by the NoC multiplier while
+    /// the NoC adds area and transfer energy.
+    pub fn evaluate_noc(&self, trace: &OpTrace, noc: NocConfig) -> WorkloadPerformance {
+        let cost = self.design.cost_model();
+        let node = self.run_trace(trace);
+        let nodes = noc.nodes() as f64;
+        let speedup = noc.throughput_multiplier();
+        let effective_cycles = node.total_cycles as f64 / speedup;
+        let runtime_s = effective_cycles / cost.frequency_hz;
+        // Tokens per step: in decode each forward pass produces `batch` tokens.
+        let tokens_per_step = trace.batch as f64;
+        let tokens_per_second = if runtime_s > 0.0 { tokens_per_step / runtime_s } else { 0.0 };
+
+        // Energy: dynamic energy is workload-defined (unchanged by the NoC),
+        // leakage scales with node count and runtime, NoC transfer energy
+        // covers activation/output movement between nodes.
+        let leakage_pj = self.design.leakage_mw() * 1e-3 * runtime_s * 1e12 * nodes;
+        let noc_bytes: u64 = trace
+            .layer_ops
+            .iter()
+            .map(|op| match op {
+                WorkloadOp::Gemm(g) => g.activation_bytes() * g.repeats as u64,
+                WorkloadOp::Nonlinear(_) => 0,
+            })
+            .sum::<u64>()
+            * trace.model.layers as u64;
+        let noc_energy_pj = noc.transfer_energy_pj(noc_bytes, cost);
+        let total_energy_pj = node.dynamic_energy_pj + node.hbm_energy_pj + leakage_pj + noc_energy_pj;
+        let energy_per_token_uj = if tokens_per_step > 0.0 {
+            total_energy_pj * 1e-6 / tokens_per_step
+        } else {
+            0.0
+        };
+        let tokens_per_uj = if energy_per_token_uj > 0.0 { 1.0 / energy_per_token_uj } else { 0.0 };
+        let average_power_w = if runtime_s > 0.0 {
+            CostModel::pj_to_joules(total_energy_pj) / runtime_s
+        } else {
+            0.0
+        };
+        let tokens_per_s_per_w = if average_power_w > 0.0 {
+            tokens_per_second / average_power_w
+        } else {
+            0.0
+        };
+        let area_mm2 = self.design.area_mm2() * nodes + noc.router_area_mm2(cost);
+
+        WorkloadPerformance {
+            tokens_per_second,
+            area_mm2,
+            energy_per_token_uj,
+            tokens_per_uj,
+            average_power_w,
+            tokens_per_s_per_w,
+            node,
+        }
+    }
+
+    /// Nonlinear-only evaluation (Figure 11): cycles and energy to process
+    /// `elements` nonlinear inputs on this design, expressed as throughput
+    /// (elements per second), energy efficiency (elements per µJ) and power
+    /// efficiency (elements per second per W).
+    pub fn evaluate_nonlinear(&self, elements: u64) -> NonlinearPerformance {
+        let cost = self.design.cost_model();
+        let cycles = self.design.nonlinear_cycles(elements);
+        let energy_pj = self.design.nonlinear_energy_pj(elements);
+        let runtime_s = cost.cycles_to_seconds(cycles);
+        let leakage_pj = self.design.leakage_mw() * 1e-3 * runtime_s * 1e12;
+        let total_pj = energy_pj + leakage_pj;
+        let throughput = if runtime_s > 0.0 { elements as f64 / runtime_s } else { 0.0 };
+        let energy_eff = if total_pj > 0.0 { elements as f64 / (total_pj * 1e-6) } else { 0.0 };
+        let power_w = if runtime_s > 0.0 { CostModel::pj_to_joules(total_pj) / runtime_s } else { 0.0 };
+        let power_eff = if power_w > 0.0 { throughput / power_w } else { 0.0 };
+        NonlinearPerformance {
+            cycles,
+            throughput_elements_per_s: throughput,
+            elements_per_uj: energy_eff,
+            elements_per_s_per_w: power_eff,
+            area_mm2: self.design.area_mm2(),
+        }
+    }
+}
+
+/// Nonlinear-only performance metrics (Figure 11).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct NonlinearPerformance {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Elements per second.
+    pub throughput_elements_per_s: f64,
+    /// Elements per µJ (energy efficiency).
+    pub elements_per_uj: f64,
+    /// Elements per second per watt (power efficiency).
+    pub elements_per_s_per_w: f64,
+    /// Node area (for iso-area normalisation).
+    pub area_mm2: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::{DesignConfig, NonlinearMethod};
+    use mugi_workloads::models::ModelId;
+    use mugi_workloads::ops::Phase;
+
+    fn decode_trace(model: ModelId, batch: usize, seq: usize) -> OpTrace {
+        OpTrace::generate(&model.config(), Phase::Decode, batch, seq, true, true)
+    }
+
+    #[test]
+    fn mugi_beats_systolic_on_llama70b_gqa() {
+        // The headline Table 3 comparison: Mugi(256) vs SA(16) on Llama 2 70B
+        // with GQA, batch 8, sequence 4096: ~2x throughput, ~3x energy
+        // efficiency, ~1.5x power efficiency.
+        let trace = decode_trace(ModelId::Llama2_70b, 8, 4096);
+        let mugi = PerfModel::new(Design::new(DesignConfig::mugi(256))).evaluate(&trace);
+        let sa = PerfModel::new(Design::new(DesignConfig::systolic(16))).evaluate(&trace);
+        let throughput_ratio = mugi.tokens_per_second / sa.tokens_per_second;
+        let energy_ratio = mugi.tokens_per_uj / sa.tokens_per_uj;
+        let power_ratio = mugi.tokens_per_s_per_w / sa.tokens_per_s_per_w;
+        assert!(throughput_ratio > 1.5 && throughput_ratio < 3.0, "throughput {throughput_ratio}");
+        assert!(energy_ratio > 1.8 && energy_ratio < 6.0, "energy {energy_ratio}");
+        assert!(power_ratio > 1.0 && power_ratio < 3.0, "power {power_ratio}");
+    }
+
+    #[test]
+    fn mugi_and_carat_have_similar_throughput_but_mugi_wins_energy() {
+        let trace = decode_trace(ModelId::Llama2_70b, 8, 4096);
+        let mugi = PerfModel::new(Design::new(DesignConfig::mugi(256))).evaluate(&trace);
+        let carat = PerfModel::new(Design::new(DesignConfig::carat(256))).evaluate(&trace);
+        let ratio = mugi.tokens_per_second / carat.tokens_per_second;
+        assert!(ratio > 0.95 && ratio < 1.3, "throughput ratio {ratio}");
+        assert!(mugi.tokens_per_uj > carat.tokens_per_uj);
+        assert!(mugi.area_mm2 < carat.area_mm2);
+    }
+
+    #[test]
+    fn nonlinear_latency_is_negligible_on_mugi_but_not_on_precise_va() {
+        let trace = decode_trace(ModelId::Llama2_7b, 8, 4096);
+        let mugi = PerfModel::new(Design::new(DesignConfig::mugi(256))).run_trace(&trace);
+        let sa = PerfModel::new(Design::new(DesignConfig::systolic(16))).run_trace(&trace);
+        let mugi_nl_share = mugi.cycle_breakdown.nonlinear / mugi.cycle_breakdown.total();
+        let sa_nl_share = sa.cycle_breakdown.nonlinear / sa.cycle_breakdown.total();
+        assert!(mugi_nl_share < 0.1, "mugi nonlinear share {mugi_nl_share}");
+        assert!(sa_nl_share > mugi_nl_share);
+    }
+
+    #[test]
+    fn throughput_peaks_at_batch_8_for_mugi_and_16_for_sa() {
+        // Figure 14: Mugi's throughput saturates at a batch of 8 (its column
+        // width), while a 16-wide systolic array keeps gaining until batch 16.
+        let tokens_per_s = |cfg: DesignConfig, batch: usize| {
+            let trace = decode_trace(ModelId::Llama2_7b, batch, 1024);
+            PerfModel::new(Design::new(cfg)).evaluate(&trace).tokens_per_second
+        };
+        let mugi_gain = tokens_per_s(DesignConfig::mugi(256), 16)
+            / tokens_per_s(DesignConfig::mugi(256), 8);
+        let sa_gain = tokens_per_s(DesignConfig::systolic(16), 16)
+            / tokens_per_s(DesignConfig::systolic(16), 8);
+        assert!(mugi_gain < 1.2, "mugi gain {mugi_gain}");
+        assert!(sa_gain > 1.6, "sa gain {sa_gain}");
+    }
+
+    #[test]
+    fn noc_scaling_is_near_linear() {
+        let trace = decode_trace(ModelId::Llama2_70b, 8, 4096);
+        let model = PerfModel::new(Design::new(DesignConfig::mugi(256)));
+        let single = model.evaluate(&trace);
+        let mesh = model.evaluate_noc(&trace, NocConfig::mesh_4x4());
+        let speedup = mesh.tokens_per_second / single.tokens_per_second;
+        assert!(speedup > 12.0 && speedup <= 16.0, "speedup {speedup}");
+        assert!(mesh.area_mm2 > single.area_mm2 * 15.0);
+    }
+
+    #[test]
+    fn nonlinear_iso_area_ordering_matches_figure_11() {
+        let elements = 8 * 32 * 4096u64; // one decode step of softmax inputs
+        let eval = |cfg| PerfModel::new(Design::new(cfg)).evaluate_nonlinear(elements);
+        let mugi = eval(DesignConfig::mugi(128));
+        let va_fp = eval(DesignConfig::vector_array(16, NonlinearMethod::Precise));
+        let va_taylor = eval(DesignConfig::vector_array(16, NonlinearMethod::Taylor));
+        let va_pwl = eval(DesignConfig::vector_array(16, NonlinearMethod::Pwl));
+        let speedup = mugi.throughput_elements_per_s / va_fp.throughput_elements_per_s;
+        assert!(speedup > 20.0 && speedup < 80.0, "vs precise {speedup}");
+        assert!(mugi.throughput_elements_per_s > va_pwl.throughput_elements_per_s);
+        assert!(va_pwl.throughput_elements_per_s > va_taylor.throughput_elements_per_s);
+        // The paper reports a ~480x energy-efficiency gain over the precise
+        // vector array; our cost model (which charges Mugi full-node leakage
+        // during the nonlinear phase) lands lower but still far above 10x.
+        assert!(mugi.elements_per_uj > va_fp.elements_per_uj * 10.0);
+        assert!(mugi.elements_per_s_per_w > va_fp.elements_per_s_per_w);
+    }
+
+    #[test]
+    fn energy_breakdown_components_are_positive_and_consistent() {
+        let trace = decode_trace(ModelId::Llama2_13b, 8, 2048);
+        let node = PerfModel::new(Design::new(DesignConfig::mugi(128))).run_trace(&trace);
+        assert!(node.total_cycles > 0);
+        assert!(node.dynamic_energy_pj > 0.0);
+        assert!(node.leakage_energy_pj > 0.0);
+        assert!(node.hbm_energy_pj > 0.0);
+        let sum = node.energy_breakdown.total();
+        assert!((sum - node.dynamic_energy_pj).abs() / sum < 1e-9);
+        assert!(node.compute_utilization > 0.0 && node.compute_utilization <= 1.0);
+    }
+
+    #[test]
+    fn prefill_is_compute_bound_and_low_bandwidth_becomes_memory_bound() {
+        let model = PerfModel::new(Design::new(DesignConfig::mugi(256)));
+        let prefill = OpTrace::generate(
+            &ModelId::Llama2_7b.config(),
+            Phase::Prefill,
+            1,
+            512,
+            true,
+            true,
+        );
+        let node = model.run_trace(&prefill);
+        assert!(!node.memory_bound, "prefill should be compute bound");
+        // With the paper's 256 GB/s the decode step is compute bound; throttle
+        // the HBM by 100x and the same trace must be reported as memory bound.
+        let decode = decode_trace(ModelId::Llama2_7b, 8, 4096);
+        assert!(!model.run_trace(&decode).memory_bound);
+        let throttled = PerfModel::with_hbm(
+            Design::new(DesignConfig::mugi(256)),
+            crate::hbm::Hbm { bandwidth_bytes_per_s: 2.56e9, energy_pj_per_byte: 7.0 },
+        );
+        assert!(throttled.run_trace(&decode).memory_bound, "throttled HBM should be memory bound");
+    }
+
+    #[test]
+    fn workload_metrics_are_internally_consistent() {
+        let trace = decode_trace(ModelId::Llama2_7b, 8, 1024);
+        let perf = PerfModel::new(Design::new(DesignConfig::mugi(128))).evaluate(&trace);
+        assert!(perf.tokens_per_second > 0.0);
+        assert!(perf.energy_per_token_uj > 0.0);
+        assert!((perf.tokens_per_uj * perf.energy_per_token_uj - 1.0).abs() < 1e-6);
+        assert!(perf.average_power_w > 0.0);
+        let implied = perf.tokens_per_second / perf.average_power_w;
+        assert!((implied - perf.tokens_per_s_per_w).abs() / implied < 1e-6);
+    }
+}

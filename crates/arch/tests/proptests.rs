@@ -1,0 +1,112 @@
+//! Property-based tests for the architecture and performance models.
+
+use mugi_arch::cost::CostModel;
+use mugi_arch::designs::{Design, DesignConfig};
+use mugi_arch::noc::NocConfig;
+use mugi_arch::perf::PerfModel;
+use mugi_workloads::models::ModelId;
+use mugi_workloads::ops::{GemmKind, GemmOp, OpTrace, Phase};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn gemm_strategy()(m in 1usize..64, k in 1usize..2048, n in 1usize..4096, repeats in 1usize..8, int4 in any::<bool>()) -> GemmOp {
+        GemmOp {
+            kind: GemmKind::Projection,
+            m,
+            k,
+            n,
+            activation_bits: 16,
+            weight_bits: if int4 { 4 } else { 16 },
+            repeats,
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn gemm_cycles_are_positive_and_scale_with_work(gemm in gemm_strategy()) {
+        for cfg in [DesignConfig::mugi(128), DesignConfig::systolic(16), DesignConfig::tensor_core()] {
+            let design = Design::new(cfg);
+            let cycles = design.gemm_cycles(&gemm);
+            prop_assert!(cycles > 0);
+            // Doubling K doubles the MAC count and never reduces the cycles.
+            let double_k = GemmOp { k: gemm.k * 2, ..gemm };
+            prop_assert!(design.gemm_cycles(&double_k) >= cycles);
+            // Energy is positive and monotone in work too.
+            prop_assert!(design.gemm_energy_pj(&gemm) > 0.0);
+            prop_assert!(design.gemm_energy_pj(&double_k) > design.gemm_energy_pj(&gemm));
+        }
+    }
+
+    #[test]
+    fn effective_macs_never_exceed_array_capacity(m in 1usize..512, n in 1usize..8192) {
+        let mugi = Design::new(DesignConfig::mugi(256));
+        let sa = Design::new(DesignConfig::systolic(16));
+        prop_assert!(mugi.effective_macs_per_cycle(m, n) <= 256.0 + 1e-9);
+        prop_assert!(sa.effective_macs_per_cycle(m, n) <= 256.0 + 1e-9);
+        prop_assert!(mugi.effective_macs_per_cycle(m, n) > 0.0);
+    }
+
+    #[test]
+    fn nonlinear_cycles_monotone_in_elements(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for cfg in [
+            DesignConfig::mugi(128),
+            DesignConfig::vector_array(16, mugi_arch::designs::NonlinearMethod::Precise),
+            DesignConfig::vector_array(16, mugi_arch::designs::NonlinearMethod::Pwl),
+        ] {
+            let design = Design::new(cfg);
+            prop_assert!(design.nonlinear_cycles(lo) <= design.nonlinear_cycles(hi));
+            prop_assert!(design.nonlinear_energy_pj(lo) <= design.nonlinear_energy_pj(hi));
+        }
+    }
+
+    #[test]
+    fn area_grows_with_array_height(h in 1usize..8) {
+        let small = Design::new(DesignConfig::mugi(32 * h)).area_mm2();
+        let large = Design::new(DesignConfig::mugi(64 * h)).area_mm2();
+        prop_assert!(large > small);
+    }
+
+    #[test]
+    fn sram_area_is_monotone(kib_a in 1.0f64..4096.0, kib_b in 1.0f64..4096.0) {
+        let cost = CostModel::default_45nm();
+        let (lo, hi) = if kib_a <= kib_b { (kib_a, kib_b) } else { (kib_b, kib_a) };
+        prop_assert!(cost.sram_area_mm2(lo) <= cost.sram_area_mm2(hi));
+        prop_assert!(cost.sram_leakage_mw(lo) <= cost.sram_leakage_mw(hi));
+    }
+
+    #[test]
+    fn workload_evaluation_is_self_consistent(batch in 1usize..32, seq_pow in 7u32..12) {
+        let seq = 1usize << seq_pow;
+        let trace = OpTrace::generate(&ModelId::Llama2_7b.config(), Phase::Decode, batch, seq, true, true);
+        let perf = PerfModel::new(Design::new(DesignConfig::mugi(128))).evaluate(&trace);
+        prop_assert!(perf.tokens_per_second > 0.0);
+        prop_assert!(perf.energy_per_token_uj > 0.0);
+        prop_assert!((perf.tokens_per_uj * perf.energy_per_token_uj - 1.0).abs() < 1e-5);
+        prop_assert!(perf.area_mm2 > 0.0);
+        let implied_power_eff = perf.tokens_per_second / perf.average_power_w;
+        prop_assert!((implied_power_eff - perf.tokens_per_s_per_w).abs() / implied_power_eff < 1e-5);
+    }
+
+    #[test]
+    fn noc_throughput_multiplier_bounded_by_node_count(rows in 1usize..9, cols in 1usize..9) {
+        let noc = NocConfig { rows, cols };
+        let mult = noc.throughput_multiplier();
+        prop_assert!(mult <= noc.nodes() as f64 + 1e-9);
+        prop_assert!(mult >= 0.8 * noc.nodes() as f64);
+    }
+
+    #[test]
+    fn larger_batches_never_reduce_total_throughput(seq_pow in 7u32..12) {
+        let seq = 1usize << seq_pow;
+        let model = PerfModel::new(Design::new(DesignConfig::mugi(256)));
+        let mut last = 0.0;
+        for batch in [1usize, 2, 4, 8, 16, 32] {
+            let trace = OpTrace::generate(&ModelId::Llama2_7b.config(), Phase::Decode, batch, seq, true, true);
+            let tput = model.evaluate(&trace).tokens_per_second;
+            prop_assert!(tput >= last * 0.999, "batch {batch}: {tput} < {last}");
+            last = tput;
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion benches over the experiment drivers themselves (quick presets):
+//! one benchmark per paper table / figure, so `cargo bench` exercises the full
+//! regeneration path end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mugi::experiments::accuracy::{fig04_profiling, fig06_accuracy_sweep, fig08_relative_error};
+use mugi::experiments::architecture::{
+    fig11_nonlinear_comparison, fig12_gemm_comparison, fig13_breakdown, fig14_batch_sweep,
+    fig16_latency_breakdown, table3_end_to_end,
+};
+use mugi::experiments::sustainability::{fig15_carbon, fig17_noc_scaling};
+use mugi::experiments::Preset;
+use mugi_workloads::models::ModelId;
+use std::hint::black_box;
+
+fn bench_experiment_drivers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment_drivers_quick");
+    group.sample_size(10);
+    group.bench_function("fig04_profiling", |b| {
+        b.iter(|| black_box(fig04_profiling(Preset::Quick)))
+    });
+    group.bench_function("fig08_relative_error", |b| {
+        b.iter(|| black_box(fig08_relative_error(Preset::Quick)))
+    });
+    group.bench_function("fig11_nonlinear_comparison", |b| {
+        b.iter(|| black_box(fig11_nonlinear_comparison(Preset::Quick)))
+    });
+    group.bench_function("fig12_gemm_comparison", |b| {
+        b.iter(|| black_box(fig12_gemm_comparison(Preset::Quick)))
+    });
+    group.bench_function("table3_end_to_end", |b| {
+        b.iter(|| black_box(table3_end_to_end(Preset::Quick)))
+    });
+    group.bench_function("fig13_breakdown", |b| {
+        b.iter(|| black_box(fig13_breakdown(Preset::Quick)))
+    });
+    group.bench_function("fig14_batch_sweep", |b| {
+        b.iter(|| black_box(fig14_batch_sweep(Preset::Quick)))
+    });
+    group.bench_function("fig15_carbon", |b| {
+        b.iter(|| black_box(fig15_carbon(Preset::Quick)))
+    });
+    group.bench_function("fig16_latency_breakdown", |b| {
+        b.iter(|| black_box(fig16_latency_breakdown(Preset::Quick)))
+    });
+    group.bench_function("fig17_noc_scaling", |b| {
+        b.iter(|| black_box(fig17_noc_scaling(Preset::Quick)))
+    });
+    group.finish();
+
+    // Figure 6 runs a reference-transformer forward pass per configuration and
+    // is the slowest driver; bench it separately with a minimal sample count.
+    let mut heavy = c.benchmark_group("experiment_drivers_heavy");
+    heavy.sample_size(10);
+    heavy.bench_function("fig06_accuracy_sweep", |b| {
+        b.iter(|| black_box(fig06_accuracy_sweep(Preset::Quick, ModelId::Llama2_7b)))
+    });
+    heavy.finish();
+}
+
+criterion_group!(benches, bench_experiment_drivers);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benches for the GEMM side (Figures 12 and 14): the functional VLP
+//! GEMM, the architecture-level GEMM cycle model, and the mapping ablation
+//! (Mugi transposed mapping versus the Carat mapping).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mugi_arch::designs::{Design, DesignConfig};
+use mugi_arch::perf::PerfModel;
+use mugi_numerics::quant::weight_only_quantize;
+use mugi_numerics::tensor::pseudo_random_matrix;
+use mugi_vlp::gemm::{VlpGemm, VlpGemmConfig};
+use mugi_workloads::models::ModelId;
+use mugi_workloads::ops::{OpTrace, Phase};
+use std::hint::black_box;
+
+/// Functional BF16-INT4 VLP GEMM against the dense reference GEMM.
+fn bench_functional_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_functional");
+    group.sample_size(20);
+    let activations = pseudo_random_matrix(8, 512, 1, 1.0);
+    let weights = pseudo_random_matrix(512, 512, 2, 0.5);
+    let quantized = weight_only_quantize(&weights, 128);
+    let engine = VlpGemm::new(VlpGemmConfig::mugi(256));
+    group.bench_function("vlp_bf16_int4_8x512x512", |b| {
+        b.iter(|| black_box(engine.gemm_bf16_int4(black_box(&activations), black_box(&quantized))))
+    });
+    let dense = quantized.dequantize().transpose();
+    group.bench_function("reference_dense_8x512x512", |b| {
+        b.iter(|| black_box(activations.matmul(black_box(&dense))))
+    });
+    group.finish();
+}
+
+/// Architecture-level evaluation of one decode step across designs (the inner
+/// loop of Figures 12, 14 and Table 3).
+fn bench_design_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_design_evaluation");
+    group.sample_size(30);
+    let trace = OpTrace::generate(&ModelId::Llama2_70b.config(), Phase::Decode, 8, 4096, true, true);
+    for (label, cfg) in [
+        ("mugi_256", DesignConfig::mugi(256)),
+        ("carat_256", DesignConfig::carat(256)),
+        ("sa_16", DesignConfig::systolic(16)),
+        ("sd_figna_16", DesignConfig::simd_figna(16)),
+        ("tensor", DesignConfig::tensor_core()),
+    ] {
+        let model = PerfModel::new(Design::new(cfg));
+        group.bench_with_input(BenchmarkId::new("evaluate", label), &trace, |b, t| {
+            b.iter(|| black_box(model.evaluate(black_box(t))))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: Mugi transposed mapping versus the Carat activation-row mapping
+/// on a small-batch GEMM (the format-customization argument of Section 4.2).
+fn bench_mapping_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mapping");
+    group.sample_size(20);
+    let activations = pseudo_random_matrix(8, 256, 3, 1.0);
+    let weights = pseudo_random_matrix(1024, 256, 4, 0.5);
+    let quantized = weight_only_quantize(&weights, 128);
+    for (label, cfg) in [
+        ("mugi_weight_rows", VlpGemmConfig::mugi(128)),
+        ("carat_activation_rows", VlpGemmConfig::carat(128)),
+    ] {
+        let engine = VlpGemm::new(cfg);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(engine.gemm_bf16_int4(black_box(&activations), black_box(&quantized))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_functional_gemm,
+    bench_design_evaluation,
+    bench_mapping_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benches for the nonlinear kernels (Figures 8 and 11): VLP
+//! approximation versus the PWL, Taylor, direct-LUT and precise baselines, and
+//! the architecture-level nonlinear evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mugi_approx::lut_direct::DirectLutConfig;
+use mugi_approx::pwl::PwlConfig;
+use mugi_approx::taylor::TaylorConfig;
+use mugi_approx::{Approximator, DirectLut, PiecewiseLinear, PreciseVectorArray, TaylorSeries};
+use mugi_arch::designs::{Design, DesignConfig, NonlinearMethod};
+use mugi_arch::perf::PerfModel;
+use mugi_numerics::nonlinear::NonlinearOp;
+use mugi_vlp::approx::{VlpApproxConfig, VlpNonlinear};
+use mugi_workloads::distributions::DistributionProfile;
+use mugi_workloads::models::ModelId;
+use std::hint::black_box;
+
+fn softmax_inputs(n: usize) -> Vec<f32> {
+    DistributionProfile::for_model(ModelId::Llama2_7b, NonlinearOp::Softmax, 0.5).sample(n, 42)
+}
+
+/// Functional nonlinear kernels (Figure 8's methods) on 16 Ki profiled inputs.
+fn bench_functional_kernels(c: &mut Criterion) {
+    let inputs = softmax_inputs(16 * 1024);
+    let mut group = c.benchmark_group("nonlinear_functional_exp");
+    group.sample_size(20);
+    let vlp = VlpNonlinear::new(NonlinearOp::Exp, VlpApproxConfig::recommended_for(NonlinearOp::Exp));
+    group.bench_function("vlp", |b| b.iter(|| black_box(vlp.apply(black_box(&inputs)))));
+    let pwl = PiecewiseLinear::new(NonlinearOp::Exp, PwlConfig { segments: 22, segment_range: 20.0 });
+    group.bench_function("pwl", |b| b.iter(|| black_box(pwl.eval_slice(black_box(&inputs)))));
+    let taylor = TaylorSeries::new(NonlinearOp::Exp, TaylorConfig { degree: 9, center: -1.0 });
+    group.bench_function("taylor", |b| b.iter(|| black_box(taylor.eval_slice(black_box(&inputs)))));
+    let lut = DirectLut::new(NonlinearOp::Exp, DirectLutConfig::default());
+    group.bench_function("direct_lut", |b| b.iter(|| black_box(lut.eval_slice(black_box(&inputs)))));
+    let precise = PreciseVectorArray::new(NonlinearOp::Exp);
+    group.bench_function("precise", |b| b.iter(|| black_box(precise.eval_slice(black_box(&inputs)))));
+    group.finish();
+}
+
+/// Architecture-level nonlinear evaluation (Figure 11's metric computation).
+fn bench_architecture_nonlinear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nonlinear_architecture_fig11");
+    group.sample_size(30);
+    let elements = 8u64 * 32 * 4096;
+    for (label, cfg) in [
+        ("mugi_128", DesignConfig::mugi(128)),
+        ("va_precise_16", DesignConfig::vector_array(16, NonlinearMethod::Precise)),
+        ("va_taylor_16", DesignConfig::vector_array(16, NonlinearMethod::Taylor)),
+        ("va_pwl_16", DesignConfig::vector_array(16, NonlinearMethod::Pwl)),
+    ] {
+        let model = PerfModel::new(Design::new(cfg));
+        group.bench_with_input(BenchmarkId::new("evaluate", label), &elements, |b, &e| {
+            b.iter(|| black_box(model.evaluate_nonlinear(black_box(e))))
+        });
+    }
+    group.finish();
+}
+
+/// VLP softmax pipeline at different row lengths (sequence lengths).
+fn bench_vlp_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vlp_softmax_pipeline");
+    group.sample_size(20);
+    let engine = VlpNonlinear::new(
+        NonlinearOp::Softmax,
+        VlpApproxConfig::recommended_for(NonlinearOp::Softmax),
+    );
+    for seq in [128usize, 1024, 4096] {
+        let logits = softmax_inputs(seq);
+        group.bench_with_input(BenchmarkId::from_parameter(seq), &logits, |b, l| {
+            b.iter(|| black_box(engine.softmax(black_box(l))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_functional_kernels,
+    bench_architecture_nonlinear,
+    bench_vlp_softmax
+);
+criterion_main!(benches);

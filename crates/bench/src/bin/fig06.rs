@@ -1,0 +1,24 @@
+//! Regenerates Figure 6: accuracy sweep per approximation method.
+use mugi::experiments::accuracy::{best_perplexity, fig06_accuracy_sweep, fig06_table, Method};
+use mugi::experiments::Preset;
+use mugi_bench::{preset_from_args, print_header};
+use mugi_workloads::models::ModelId;
+
+fn main() {
+    let preset = preset_from_args();
+    print_header("Figure 6 (accuracy sweep)", preset);
+    let models = match preset {
+        Preset::Quick => vec![ModelId::Llama2_7b],
+        Preset::Full => vec![ModelId::Llama2_7b, ModelId::Llama2_13b, ModelId::WhisperTiny, ModelId::Swinv2Tiny],
+    };
+    for model in models {
+        let rows = fig06_accuracy_sweep(preset, model);
+        println!("{}", fig06_table(&rows));
+        for method in [Method::Exact, Method::Vlp, Method::Pwl, Method::Taylor] {
+            if let Some(best) = best_perplexity(&rows, method) {
+                println!("  best {:<7} {:.4}", method.label(), best);
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 7: per-layer LUT window tuning.
+use mugi::experiments::accuracy::{fig07_per_layer_tuning, fig07_table};
+use mugi_bench::{preset_from_args, print_header};
+use mugi_workloads::models::ModelId;
+
+fn main() {
+    let preset = preset_from_args();
+    print_header("Figure 7 (per-layer tuning)", preset);
+    for model in [ModelId::Llama2_7b, ModelId::Llama2_13b] {
+        println!("--- {} ---", model.name());
+        let trace = fig07_per_layer_tuning(preset, model);
+        println!("{}", fig07_table(&trace));
+        if let Some(final_ppl) = trace.final_quality() {
+            println!("  final proxy PPL: {final_ppl:.4}\n");
+        }
+    }
+}

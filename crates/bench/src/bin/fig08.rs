@@ -1,0 +1,9 @@
+//! Regenerates Figure 8: relative error of each approximation vs software.
+use mugi::experiments::accuracy::{fig08_relative_error, fig08_table};
+use mugi_bench::{preset_from_args, print_header};
+
+fn main() {
+    let preset = preset_from_args();
+    print_header("Figure 8 (relative error)", preset);
+    println!("{}", fig08_table(&fig08_relative_error(preset)));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 11: iso-area nonlinear comparison.
+use mugi::experiments::architecture::{fig11_nonlinear_comparison, fig11_table};
+use mugi_bench::{preset_from_args, print_header};
+
+fn main() {
+    let preset = preset_from_args();
+    print_header("Figure 11 (iso-area nonlinear comparison)", preset);
+    println!("{}", fig11_table(&fig11_nonlinear_comparison(preset)));
+}

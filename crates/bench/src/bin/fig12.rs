@@ -1,0 +1,9 @@
+//! Regenerates Figure 12: iso-area GEMM comparison.
+use mugi::experiments::architecture::{fig12_gemm_comparison, fig12_table};
+use mugi_bench::{preset_from_args, print_header};
+
+fn main() {
+    let preset = preset_from_args();
+    print_header("Figure 12 (iso-area GEMM comparison)", preset);
+    println!("{}", fig12_table(&fig12_gemm_comparison(preset)));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 13: array-level area breakdown.
+use mugi::experiments::architecture::{fig13_breakdown, fig13_table};
+use mugi_bench::{preset_from_args, print_header};
+
+fn main() {
+    let preset = preset_from_args();
+    print_header("Figure 13 (area breakdown)", preset);
+    println!("{}", fig13_table(&fig13_breakdown(preset)));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 14: batch-size sweep.
+use mugi::experiments::architecture::{fig14_batch_sweep, fig14_table};
+use mugi_bench::{preset_from_args, print_header};
+
+fn main() {
+    let preset = preset_from_args();
+    print_header("Figure 14 (batch-size sweep)", preset);
+    println!("{}", fig14_table(&fig14_batch_sweep(preset)));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 15: operational and embodied carbon.
+use mugi::experiments::sustainability::{fig15_carbon, fig15_table};
+use mugi_bench::{preset_from_args, print_header};
+
+fn main() {
+    let preset = preset_from_args();
+    print_header("Figure 15 (carbon)", preset);
+    println!("{}", fig15_table(&fig15_carbon(preset)));
+}

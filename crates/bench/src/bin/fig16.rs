@@ -1,0 +1,9 @@
+//! Regenerates Figure 16: end-to-end latency breakdown.
+use mugi::experiments::architecture::{fig16_latency_breakdown, fig16_table};
+use mugi_bench::{preset_from_args, print_header};
+
+fn main() {
+    let preset = preset_from_args();
+    print_header("Figure 16 (latency breakdown)", preset);
+    println!("{}", fig16_table(&fig16_latency_breakdown(preset)));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 17: NoC-level comparison.
+use mugi::experiments::sustainability::{fig17_noc_scaling, fig17_table};
+use mugi_bench::{preset_from_args, print_header};
+
+fn main() {
+    let preset = preset_from_args();
+    print_header("Figure 17 (NoC scaling)", preset);
+    println!("{}", fig17_table(&fig17_noc_scaling(preset)));
+}

@@ -1,0 +1,23 @@
+//! Runs every regeneration driver in sequence (the whole evaluation section).
+use mugi::experiments::accuracy::*;
+use mugi::experiments::architecture::*;
+use mugi::experiments::sustainability::*;
+use mugi_bench::{preset_from_args, print_header};
+use mugi_workloads::models::ModelId;
+
+fn main() {
+    let preset = preset_from_args();
+    print_header("full evaluation", preset);
+    println!("{}", fig04_table(&fig04_profiling(preset)));
+    println!("{}", fig06_table(&fig06_accuracy_sweep(preset, ModelId::Llama2_7b)));
+    println!("{}", fig07_table(&fig07_per_layer_tuning(preset, ModelId::Llama2_7b)));
+    println!("{}", fig08_table(&fig08_relative_error(preset)));
+    println!("{}", fig11_table(&fig11_nonlinear_comparison(preset)));
+    println!("{}", fig12_table(&fig12_gemm_comparison(preset)));
+    println!("{}", table3_table(&table3_end_to_end(preset)));
+    println!("{}", fig13_table(&fig13_breakdown(preset)));
+    println!("{}", fig14_table(&fig14_batch_sweep(preset)));
+    println!("{}", fig15_table(&fig15_carbon(preset)));
+    println!("{}", fig16_table(&fig16_latency_breakdown(preset)));
+    println!("{}", fig17_table(&fig17_noc_scaling(preset)));
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table 3: end-to-end comparison on Llama 2 70B (GQA).
+use mugi::experiments::architecture::{table3_end_to_end, table3_table};
+use mugi_bench::{preset_from_args, print_header};
+
+fn main() {
+    let preset = preset_from_args();
+    print_header("Table 3 (end-to-end comparison)", preset);
+    let rows = table3_end_to_end(preset);
+    println!("{}", table3_table(&rows));
+    let find = |label: &str| rows.iter().find(|r| r.design == label);
+    if let (Some(mugi), Some(sa)) = (find("Mugi (256)"), find("SA (16)")) {
+        println!(
+            "Mugi(256) vs SA(16): {:.2}x throughput, {:.2}x energy efficiency, {:.2}x power efficiency",
+            mugi.tokens_per_second / sa.tokens_per_second,
+            mugi.tokens_per_uj / sa.tokens_per_uj,
+            mugi.tokens_per_s_per_w / sa.tokens_per_s_per_w,
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! # mugi
+//!
+//! Facade crate of the Mugi reproduction (*Mugi: Value Level Parallelism For
+//! Efficient LLMs*, ASPLOS 2026).
+//!
+//! It ties together the workspace crates into a user-facing API:
+//!
+//! * [`MugiAccelerator`] — a single-node Mugi instance that can execute
+//!   BF16–INT4 GEMMs, approximate nonlinear operations via VLP, and estimate
+//!   latency / energy / area for full LLM workloads;
+//! * [`experiments`] — one driver per table and figure of the paper's
+//!   evaluation section, each with a `quick()` preset (seconds, used by tests)
+//!   and a `full()` preset (used by the benchmark harness and EXPERIMENTS.md);
+//! * [`report`] — small text-table helpers used by the drivers and the
+//!   regeneration binaries.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mugi::MugiAccelerator;
+//! use mugi_numerics::nonlinear::NonlinearOp;
+//!
+//! let accel = MugiAccelerator::new(256);
+//! // Approximate a softmax on the VLP array.
+//! let (probs, stats) = accel.softmax(&[0.3, -1.0, 2.0]);
+//! assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+//! assert!(stats.latency_cycles > 0);
+//! // Estimate decode throughput for Llama 2 70B with GQA, WOQ and KVQ.
+//! let perf = accel.estimate_llm_throughput(
+//!     mugi_workloads::models::ModelId::Llama2_70b, 8, 4096);
+//! assert!(perf.tokens_per_second > 0.0);
+//! let _ = NonlinearOp::Softmax;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod report;
+
+pub use mugi_approx as approx;
+pub use mugi_arch as arch;
+pub use mugi_carbon as carbon;
+pub use mugi_numerics as numerics;
+pub use mugi_vlp as vlp;
+pub use mugi_workloads as workloads;
+
+use mugi_arch::designs::{Design, DesignConfig};
+use mugi_arch::noc::NocConfig;
+use mugi_arch::perf::{PerfModel, WorkloadPerformance};
+use mugi_numerics::nonlinear::NonlinearOp;
+use mugi_numerics::quant::{weight_only_quantize, QuantizedMatrix};
+use mugi_numerics::tensor::Matrix;
+use mugi_vlp::approx::{ApproxStats, VlpApproxConfig, VlpNonlinear};
+use mugi_vlp::gemm::{GemmStats, VlpGemm, VlpGemmConfig};
+use mugi_workloads::models::ModelId;
+use mugi_workloads::ops::{OpTrace, Phase};
+
+/// A single-node Mugi accelerator: the paper's contribution wrapped in one
+/// object that exposes functional execution (GEMM, nonlinear approximation)
+/// and architectural estimation (throughput, energy, area, carbon).
+#[derive(Clone, Debug)]
+pub struct MugiAccelerator {
+    design: DesignConfig,
+    gemm: VlpGemm,
+    softmax_engine: VlpNonlinear,
+    silu_engine: VlpNonlinear,
+    gelu_engine: VlpNonlinear,
+}
+
+impl MugiAccelerator {
+    /// Creates a Mugi node with the given array height (32–256 in the paper)
+    /// and the recommended VLP approximation windows.
+    pub fn new(array_height: usize) -> Self {
+        let design = DesignConfig::mugi(array_height);
+        MugiAccelerator {
+            design,
+            gemm: VlpGemm::new(VlpGemmConfig::mugi(array_height)),
+            softmax_engine: VlpNonlinear::with_array_rows(
+                NonlinearOp::Softmax,
+                VlpApproxConfig::recommended_for(NonlinearOp::Softmax),
+                array_height,
+            ),
+            silu_engine: VlpNonlinear::with_array_rows(
+                NonlinearOp::Silu,
+                VlpApproxConfig::recommended_for(NonlinearOp::Silu),
+                array_height,
+            ),
+            gelu_engine: VlpNonlinear::with_array_rows(
+                NonlinearOp::Gelu,
+                VlpApproxConfig::recommended_for(NonlinearOp::Gelu),
+                array_height,
+            ),
+        }
+    }
+
+    /// The architectural configuration of this node.
+    pub fn design_config(&self) -> &DesignConfig {
+        &self.design
+    }
+
+    /// Node area in mm² under the default cost model.
+    pub fn area_mm2(&self) -> f64 {
+        Design::new(self.design).area_mm2()
+    }
+
+    /// Quantizes a weight matrix for this accelerator (INT4 weight-only
+    /// quantization with group size 128, the WOQ configuration of the paper).
+    pub fn quantize_weights(&self, weights: &Matrix) -> QuantizedMatrix {
+        weight_only_quantize(weights, 128)
+    }
+
+    /// Executes an asymmetric BF16–INT4 GEMM (`activations × weightsᵀ`) on the
+    /// VLP array, returning the output and cycle statistics.
+    pub fn gemm(&self, activations: &Matrix, weights: &QuantizedMatrix) -> (Matrix, GemmStats) {
+        self.gemm.gemm_bf16_int4(activations, weights)
+    }
+
+    /// Approximates a softmax over `logits` using the VLP array.
+    pub fn softmax(&self, logits: &[f32]) -> (Vec<f32>, ApproxStats) {
+        self.softmax_engine.softmax(logits)
+    }
+
+    /// Approximates an element-wise activation (SiLU or GELU) on the VLP
+    /// array.
+    ///
+    /// # Panics
+    /// Panics if `op` is not SiLU or GELU.
+    pub fn activation(&self, op: NonlinearOp, inputs: &[f32]) -> (Vec<f32>, ApproxStats) {
+        match op {
+            NonlinearOp::Silu => self.silu_engine.apply(inputs),
+            NonlinearOp::Gelu => self.gelu_engine.apply(inputs),
+            other => panic!("activation() expects SiLU or GELU, got {other:?}"),
+        }
+    }
+
+    /// Estimates decode throughput and efficiency for one of the paper's LLMs
+    /// at the given batch size and context length (WOQ + KVQ enabled, as in
+    /// the paper's main configuration).
+    pub fn estimate_llm_throughput(
+        &self,
+        model: ModelId,
+        batch: usize,
+        seq_len: usize,
+    ) -> WorkloadPerformance {
+        let trace = OpTrace::generate(&model.config(), Phase::Decode, batch, seq_len, true, true);
+        PerfModel::new(Design::new(self.design)).evaluate(&trace)
+    }
+
+    /// Estimates throughput and efficiency on a multi-node NoC.
+    pub fn estimate_llm_throughput_noc(
+        &self,
+        model: ModelId,
+        batch: usize,
+        seq_len: usize,
+        noc: NocConfig,
+    ) -> WorkloadPerformance {
+        let trace = OpTrace::generate(&model.config(), Phase::Decode, batch, seq_len, true, true);
+        PerfModel::new(Design::new(self.design)).evaluate_noc(&trace, noc)
+    }
+}
+
+impl Default for MugiAccelerator {
+    fn default() -> Self {
+        MugiAccelerator::new(256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mugi_numerics::tensor::pseudo_random_matrix;
+
+    #[test]
+    fn accelerator_end_to_end_smoke() {
+        let accel = MugiAccelerator::new(128);
+        let activations = pseudo_random_matrix(8, 64, 1, 1.0);
+        let weights = pseudo_random_matrix(32, 64, 2, 0.5);
+        let q = accel.quantize_weights(&weights);
+        let (out, stats) = accel.gemm(&activations, &q);
+        assert_eq!(out.rows(), 8);
+        assert_eq!(out.cols(), 32);
+        assert!(stats.cycles > 0);
+        let (probs, _) = accel.softmax(&[0.5, -0.5, 1.5]);
+        assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+        let (act, _) = accel.activation(NonlinearOp::Silu, &[1.0, -1.0]);
+        assert_eq!(act.len(), 2);
+        assert!(accel.area_mm2() > 0.0);
+    }
+
+    #[test]
+    fn throughput_estimates_scale_with_noc() {
+        let accel = MugiAccelerator::new(256);
+        let single = accel.estimate_llm_throughput(ModelId::Llama2_70b, 8, 2048);
+        let mesh = accel.estimate_llm_throughput_noc(
+            ModelId::Llama2_70b,
+            8,
+            2048,
+            NocConfig::mesh_4x4(),
+        );
+        assert!(mesh.tokens_per_second > single.tokens_per_second * 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects SiLU or GELU")]
+    fn activation_rejects_softmax() {
+        MugiAccelerator::new(64).activation(NonlinearOp::Softmax, &[0.0]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Software FP8 (E4M3 and E5M2) formats.
+//!
+//! The original Carat design (the prior VLP architecture Mugi extends) only
+//! supports FP8 activations and weights. We implement both common FP8 variants
+//! so that the Carat baseline in `mugi-arch` can be modelled faithfully and so
+//! the format-customization argument of Section 4.2 (BF16 inputs would need a
+//! 128-cycle temporal signal on Carat's 7-bit mantissa path) can be
+//! demonstrated numerically.
+
+use std::fmt;
+
+/// Which FP8 encoding to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Fp8Format {
+    /// 1 sign bit, 4 exponent bits, 3 mantissa bits (bias 7). Higher precision,
+    /// smaller range; the usual choice for activations/weights.
+    E4M3,
+    /// 1 sign bit, 5 exponent bits, 2 mantissa bits (bias 15). Wider range,
+    /// usually used for gradients.
+    E5M2,
+}
+
+impl Fp8Format {
+    /// Number of mantissa bits.
+    pub const fn mantissa_bits(self) -> u32 {
+        match self {
+            Fp8Format::E4M3 => 3,
+            Fp8Format::E5M2 => 2,
+        }
+    }
+
+    /// Number of exponent bits.
+    pub const fn exponent_bits(self) -> u32 {
+        match self {
+            Fp8Format::E4M3 => 4,
+            Fp8Format::E5M2 => 5,
+        }
+    }
+
+    /// Exponent bias.
+    pub const fn bias(self) -> i32 {
+        match self {
+            Fp8Format::E4M3 => 7,
+            Fp8Format::E5M2 => 15,
+        }
+    }
+
+    /// Largest finite magnitude representable in this format.
+    pub fn max_value(self) -> f32 {
+        match self {
+            // E4M3 (OCP variant) tops out at 448.
+            Fp8Format::E4M3 => 448.0,
+            Fp8Format::E5M2 => 57344.0,
+        }
+    }
+}
+
+/// An 8-bit floating point value.
+///
+/// ```
+/// use mugi_numerics::fp8::{Fp8, Fp8Format};
+/// let x = Fp8::from_f32(1.7, Fp8Format::E4M3);
+/// assert!((x.to_f32() - 1.75).abs() < 1e-6);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fp8 {
+    bits: u8,
+    format: Fp8Format,
+}
+
+impl Fp8 {
+    /// Creates an FP8 value from raw bits.
+    pub const fn from_bits(bits: u8, format: Fp8Format) -> Self {
+        Fp8 { bits, format }
+    }
+
+    /// Raw bit pattern.
+    pub const fn to_bits(self) -> u8 {
+        self.bits
+    }
+
+    /// The encoding of this value.
+    pub const fn format(self) -> Fp8Format {
+        self.format
+    }
+
+    /// Sign bit.
+    pub const fn sign(self) -> bool {
+        self.bits >> 7 == 1
+    }
+
+    /// Raw mantissa field.
+    pub fn mantissa(self) -> u8 {
+        self.bits & ((1 << self.format.mantissa_bits()) - 1) as u8
+    }
+
+    /// Raw biased exponent field.
+    pub fn biased_exponent(self) -> u8 {
+        (self.bits >> self.format.mantissa_bits()) & ((1 << self.format.exponent_bits()) - 1) as u8
+    }
+
+    /// Converts from `f32`, saturating to the maximum finite magnitude
+    /// (matching common accelerator behaviour) and flushing subnormal results
+    /// to the nearest representable subnormal.
+    pub fn from_f32(value: f32, format: Fp8Format) -> Self {
+        let m_bits = format.mantissa_bits();
+        let bias = format.bias();
+        if value.is_nan() {
+            // Canonical NaN: all exponent bits and all mantissa bits set
+            // (E4M3 reserves only the all-ones mantissa for NaN).
+            let exp_mask = ((1u8 << format.exponent_bits()) - 1) << m_bits;
+            let mant_mask = (1u8 << m_bits) - 1;
+            return Fp8 { bits: exp_mask | mant_mask, format };
+        }
+        let sign = if value.is_sign_negative() { 1u8 << 7 } else { 0 };
+        let mag = value.abs();
+        if mag == 0.0 {
+            return Fp8 { bits: sign, format };
+        }
+        let max = format.max_value();
+        if mag >= max {
+            // Saturate to the largest finite encoding.
+            let bits = match format {
+                // E4M3: exponent 0b1111 with mantissa 0b110 (0b111 is NaN).
+                Fp8Format::E4M3 => 0b0111_1110,
+                // E5M2: exponent 0b11110 with mantissa 0b11 (0b11111 is inf/NaN).
+                Fp8Format::E5M2 => 0b0111_1011,
+            };
+            return Fp8 { bits: sign | bits, format };
+        }
+        // Decompose into exponent and mantissa. The largest normal biased
+        // exponent is all-ones for E4M3 (which shares the top exponent with
+        // NaN) and all-ones-minus-one for E5M2 (whose top exponent encodes
+        // inf/NaN exclusively).
+        let max_normal_exp = match format {
+            Fp8Format::E4M3 => (1 << format.exponent_bits()) - 1 - bias,
+            Fp8Format::E5M2 => (1 << format.exponent_bits()) - 2 - bias,
+        };
+        let exp = (mag.log2().floor() as i32).clamp(1 - bias, max_normal_exp);
+        let biased = exp + bias;
+        let (biased, frac) = if mag < 2f32.powi(1 - bias) {
+            // Subnormal: exponent field zero, value = frac * 2^(1-bias).
+            (0, mag / 2f32.powi(1 - bias))
+        } else {
+            (biased, mag / 2f32.powi(exp) - 1.0)
+        };
+        let scale = (1u32 << m_bits) as f32;
+        let mut mant = (frac * scale).round() as u32;
+        let mut biased = biased as u32;
+        if mant >= scale as u32 {
+            // Mantissa rounding overflowed into the next binade.
+            mant = 0;
+            biased += 1;
+        }
+        // If rounding pushed us into the inf/NaN encodings, saturate back to
+        // the largest finite value (we already checked mag < max_value()).
+        let finite_limit = match format {
+            Fp8Format::E4M3 => (0b1111u32, 0b110u32),
+            Fp8Format::E5M2 => (0b11110u32, 0b11u32),
+        };
+        if biased > finite_limit.0 || (biased == finite_limit.0 && mant > finite_limit.1) {
+            biased = finite_limit.0;
+            mant = finite_limit.1;
+        }
+        Fp8 { bits: sign | ((biased as u8) << m_bits) | mant as u8, format }
+    }
+
+    /// Converts to `f32` exactly.
+    pub fn to_f32(self) -> f32 {
+        let m_bits = self.format.mantissa_bits();
+        let bias = self.format.bias();
+        let sign = if self.sign() { -1.0 } else { 1.0 };
+        let e = self.biased_exponent() as i32;
+        let m = self.mantissa() as f32 / (1u32 << m_bits) as f32;
+        let exp_max = (1 << self.format.exponent_bits()) - 1;
+        if self.format == Fp8Format::E5M2 && e == exp_max {
+            return if self.mantissa() == 0 {
+                sign * f32::INFINITY
+            } else {
+                f32::NAN
+            };
+        }
+        if self.format == Fp8Format::E4M3 && e == exp_max && self.mantissa() == 0b111 {
+            return f32::NAN;
+        }
+        if e == 0 {
+            sign * m * 2f32.powi(1 - bias)
+        } else {
+            sign * (1.0 + m) * 2f32.powi(e - bias)
+        }
+    }
+
+    /// Whether this is a NaN encoding.
+    pub fn is_nan(self) -> bool {
+        self.to_f32().is_nan()
+    }
+}
+
+impl fmt::Debug for Fp8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp8({:?}, {})", self.format, self.to_f32())
+    }
+}
+
+impl fmt::Display for Fp8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Quantization error (absolute) introduced by representing `value` in FP8.
+pub fn quantization_error(value: f32, format: Fp8Format) -> f32 {
+    (Fp8::from_f32(value, format).to_f32() - value).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representable_values_round_trip() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 1.5, 2.0, -3.5, 0.0625, 448.0] {
+            let x = Fp8::from_f32(v, Fp8Format::E4M3);
+            assert_eq!(x.to_f32(), v, "value {v}");
+        }
+        for v in [0.0f32, 1.0, -1.0, 0.5, 1.5, 2.0, -3.0, 57344.0] {
+            let x = Fp8::from_f32(v, Fp8Format::E5M2);
+            assert_eq!(x.to_f32(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn saturates_at_max() {
+        let x = Fp8::from_f32(1e6, Fp8Format::E4M3);
+        assert_eq!(x.to_f32(), 448.0);
+        let y = Fp8::from_f32(-1e6, Fp8Format::E4M3);
+        assert_eq!(y.to_f32(), -448.0);
+    }
+
+    #[test]
+    fn nan_is_preserved() {
+        assert!(Fp8::from_f32(f32::NAN, Fp8Format::E4M3).is_nan());
+        assert!(Fp8::from_f32(f32::NAN, Fp8Format::E5M2).is_nan());
+    }
+
+    #[test]
+    fn rounding_is_close() {
+        for &v in &[0.1f32, 0.3, 0.7, 1.1, 2.3, 5.7, 13.3, 100.0] {
+            let x = Fp8::from_f32(v, Fp8Format::E4M3).to_f32();
+            // E4M3 has 3 mantissa bits -> relative error bounded by 2^-4 = 6.25%.
+            assert!(
+                (x - v).abs() / v <= 0.0625 + 1e-6,
+                "value {v} quantized to {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn subnormals_round_trip_small_values() {
+        let tiny = 2f32.powi(-8); // below the E4M3 normal range start (2^-6)
+        let x = Fp8::from_f32(tiny, Fp8Format::E4M3);
+        assert!(x.to_f32() > 0.0);
+        assert!((x.to_f32() - tiny).abs() <= 2f32.powi(-9));
+    }
+
+    #[test]
+    fn field_extraction() {
+        let x = Fp8::from_f32(1.5, Fp8Format::E4M3);
+        assert!(!x.sign());
+        assert_eq!(x.biased_exponent() as i32 - Fp8Format::E4M3.bias(), 0);
+        assert_eq!(x.mantissa(), 0b100);
+    }
+}

@@ -1,0 +1,50 @@
+//! # mugi-vlp
+//!
+//! Value-level parallelism (VLP) — the algorithmic core of the Mugi paper.
+//!
+//! VLP replaces multipliers with *temporal coding*: an input value `i` is
+//! converted into a spike at clock cycle `i` by a temporal converter, a shared
+//! accumulator produces every possible product `c·w` as the counter `c` counts
+//! up, and each lane *subscribes* to the product corresponding to its own
+//! input when its spike fires (Section 2.1, Figure 2). Because the running
+//! accumulation is shared by every lane in a row, values are *reused* across
+//! lanes — hence value-level parallelism.
+//!
+//! This crate implements:
+//!
+//! * [`temporal`] — temporal converters, spikes and counters;
+//! * [`reuse`] — value-reuse primitives: scalar×vector and outer-product
+//!   multiplication without multipliers, with cycle accounting;
+//! * [`gemm`] — functional VLP GEMM for both the original Carat mapping
+//!   (activations on rows) and the Mugi transposed mapping (INT4 weights on
+//!   rows, BF16 activations on columns), including the asymmetric
+//!   BF16–INT4 path used with WOQ / KVQ / GQA;
+//! * [`approx`] — the VLP nonlinear approximation of Section 3: LUT
+//!   construction, value-centric sliding windows, the four-phase subscription
+//!   engine and the full softmax pipeline;
+//! * [`tuning`] — per-layer LUT window tuning (Figure 7).
+//!
+//! # Example
+//!
+//! ```
+//! use mugi_vlp::approx::{VlpApproxConfig, VlpNonlinear};
+//! use mugi_numerics::nonlinear::NonlinearOp;
+//!
+//! let cfg = VlpApproxConfig::recommended_for(NonlinearOp::Silu);
+//! let engine = VlpNonlinear::new(NonlinearOp::Silu, cfg);
+//! let (approx, _stats) = engine.apply(&[0.5, -1.25, 3.0]);
+//! assert!((approx[0] - 0.5 / (1.0 + (-0.5f32).exp())).abs() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod approx;
+pub mod gemm;
+pub mod reuse;
+pub mod temporal;
+pub mod tuning;
+
+pub use approx::{VlpApproxConfig, VlpNonlinear};
+pub use gemm::{MappingKind, VlpGemm, VlpGemmConfig};
+pub use temporal::{TemporalConverter, TemporalSignal};

@@ -1,0 +1,153 @@
+//! Per-layer LUT window tuning (Figure 7 of the paper).
+//!
+//! Some models (notably Llama 2) have softmax input distributions that drift
+//! across layers, so a single sliding-window anchor is not optimal for every
+//! layer. The paper tunes the LUT range layer by layer, progressively: layer
+//! `l` is tuned while layers `< l` keep their already-tuned windows and layers
+//! `> l` keep the default. This module implements that greedy progressive
+//! search against an arbitrary layer-quality oracle.
+
+use crate::approx::{VlpApproxConfig, WindowStrategy};
+use serde::{Deserialize, Serialize};
+
+/// One candidate window anchor (the `Fixed` strategy's low exponent).
+pub type WindowAnchor = i32;
+
+/// The result of tuning one layer.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LayerTuning {
+    /// Layer index.
+    pub layer: usize,
+    /// Chosen window anchor (lowest exponent of the sliding window).
+    pub anchor: WindowAnchor,
+    /// Quality metric (lower is better, e.g. proxy perplexity) after fixing
+    /// this layer's anchor.
+    pub quality: f32,
+}
+
+/// The full per-layer tuning trace, mirroring the progressive curve the paper
+/// plots in Figure 7.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TuningTrace {
+    /// Per-layer decisions in tuning order.
+    pub layers: Vec<LayerTuning>,
+}
+
+impl TuningTrace {
+    /// The final quality metric after all layers are tuned.
+    pub fn final_quality(&self) -> Option<f32> {
+        self.layers.last().map(|l| l.quality)
+    }
+
+    /// The chosen anchors, indexed by layer.
+    pub fn anchors(&self) -> Vec<WindowAnchor> {
+        let mut anchors = vec![0; self.layers.len()];
+        for l in &self.layers {
+            anchors[l.layer] = l.anchor;
+        }
+        anchors
+    }
+}
+
+/// Greedy progressive per-layer tuning.
+///
+/// * `num_layers` — number of layers to tune.
+/// * `candidates` — window anchors to consider for each layer.
+/// * `default_anchor` — anchor used for not-yet-tuned layers.
+/// * `evaluate` — quality oracle: given the per-layer anchors, returns the
+///   model-level quality metric (lower is better). In the paper this is the
+///   end-to-end perplexity; in the reproduction it is the proxy perplexity
+///   from `mugi-workloads`.
+///
+/// Returns the tuning trace; the caller turns anchors into
+/// [`VlpApproxConfig`]s with [`config_for_anchor`].
+///
+/// # Panics
+/// Panics if `candidates` is empty or `num_layers` is zero.
+pub fn tune_layers(
+    num_layers: usize,
+    candidates: &[WindowAnchor],
+    default_anchor: WindowAnchor,
+    mut evaluate: impl FnMut(&[WindowAnchor]) -> f32,
+) -> TuningTrace {
+    assert!(num_layers > 0, "num_layers must be non-zero");
+    assert!(!candidates.is_empty(), "candidates must not be empty");
+    let mut anchors = vec![default_anchor; num_layers];
+    let mut trace = TuningTrace::default();
+    for layer in 0..num_layers {
+        let mut best_anchor = anchors[layer];
+        let mut best_quality = f32::INFINITY;
+        for &candidate in candidates {
+            anchors[layer] = candidate;
+            let quality = evaluate(&anchors);
+            if quality < best_quality {
+                best_quality = quality;
+                best_anchor = candidate;
+            }
+        }
+        anchors[layer] = best_anchor;
+        trace.layers.push(LayerTuning { layer, anchor: best_anchor, quality: best_quality });
+    }
+    trace
+}
+
+/// Builds a per-layer configuration from a base config and a tuned anchor.
+pub fn config_for_anchor(base: &VlpApproxConfig, anchor: WindowAnchor) -> VlpApproxConfig {
+    VlpApproxConfig { strategy: WindowStrategy::Fixed(anchor), ..*base }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mugi_numerics::nonlinear::NonlinearOp;
+
+    #[test]
+    fn tuning_finds_known_optimum() {
+        // Synthetic oracle: each layer l has an ideal anchor of -(l as i32),
+        // quality is the summed squared distance from the ideal.
+        let ideal = |l: usize| -(l as i32);
+        let oracle = |anchors: &[WindowAnchor]| -> f32 {
+            anchors
+                .iter()
+                .enumerate()
+                .map(|(l, &a)| ((a - ideal(l)) as f32).powi(2))
+                .sum()
+        };
+        let candidates: Vec<i32> = (-5..=1).collect();
+        let trace = tune_layers(4, &candidates, 0, oracle);
+        assert_eq!(trace.anchors(), vec![0, -1, -2, -3]);
+        assert_eq!(trace.final_quality(), Some(0.0));
+        // Quality must be monotonically non-increasing across the progressive
+        // tuning curve (each step only improves or keeps the metric).
+        for pair in trace.layers.windows(2) {
+            assert!(pair[1].quality <= pair[0].quality + 1e-6);
+        }
+    }
+
+    #[test]
+    fn tuning_trace_is_complete() {
+        let trace = tune_layers(3, &[-2, -1, 0], -1, |_| 1.0);
+        assert_eq!(trace.layers.len(), 3);
+        assert!(trace.layers.iter().enumerate().all(|(i, l)| l.layer == i));
+    }
+
+    #[test]
+    fn config_for_anchor_sets_fixed_strategy() {
+        let base = VlpApproxConfig::recommended_for(NonlinearOp::Softmax);
+        let cfg = config_for_anchor(&base, -3);
+        assert_eq!(cfg.strategy, WindowStrategy::Fixed(-3));
+        assert_eq!(cfg.mantissa_bits, base.mantissa_bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidates must not be empty")]
+    fn empty_candidates_rejected() {
+        tune_layers(1, &[], 0, |_| 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_layers must be non-zero")]
+    fn zero_layers_rejected() {
+        tune_layers(0, &[0], 0, |_| 0.0);
+    }
+}

@@ -1,0 +1,433 @@
+//! Per-layer operator traces: the GEMMs and nonlinear operations a transformer
+//! layer performs, with their shapes, for prefill and decode phases.
+//!
+//! The architecture model (`mugi-arch`) consumes these traces to estimate
+//! latency, energy and utilization for every design in the paper's evaluation
+//! (Figures 11–17, Table 3).
+
+use crate::models::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Inference phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Prefill: all prompt tokens processed at once (large GEMMs).
+    Prefill,
+    /// Decode: one new token per request (small-batch GEMMs / GEMVs).
+    Decode,
+}
+
+/// Which logical part of the layer a GEMM belongs to, matching the latency
+/// breakdown categories of Figures 15 and 16.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GemmKind {
+    /// Q/K/V/O projections.
+    Projection,
+    /// Attention score (`QKᵀ`) and value (`PV`) GEMMs against the KV cache.
+    Attention,
+    /// FFN up/gate/down projections.
+    Ffn,
+}
+
+impl GemmKind {
+    /// Display label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            GemmKind::Projection => "Projection",
+            GemmKind::Attention => "Attention",
+            GemmKind::Ffn => "FFN",
+        }
+    }
+}
+
+/// A single GEMM operation `A (m×k) × B (k×n)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmOp {
+    /// Which part of the layer this GEMM implements.
+    pub kind: GemmKind,
+    /// Rows of the activation operand (batch × tokens, or batch × group for
+    /// GQA attention).
+    pub m: usize,
+    /// Shared (reduction) dimension.
+    pub k: usize,
+    /// Columns of the weight / KV operand.
+    pub n: usize,
+    /// Bits per element of the activation operand (16 for BF16).
+    pub activation_bits: usize,
+    /// Bits per element of the weight / KV operand (4 under WOQ / KVQ, 16
+    /// otherwise).
+    pub weight_bits: usize,
+    /// How many times this exact GEMM repeats in the layer (e.g. once per
+    /// attention head or per KV head).
+    pub repeats: usize,
+}
+
+impl GemmOp {
+    /// Multiply-accumulate count for one instance.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// Total MACs including repeats.
+    pub fn total_macs(&self) -> u64 {
+        self.macs() * self.repeats as u64
+    }
+
+    /// Bytes of weight/KV operand traffic for one instance.
+    pub fn weight_bytes(&self) -> u64 {
+        (self.k as u64 * self.n as u64 * self.weight_bits as u64).div_ceil(8)
+    }
+
+    /// Bytes of activation operand traffic for one instance.
+    pub fn activation_bytes(&self) -> u64 {
+        (self.m as u64 * self.k as u64 * self.activation_bits as u64).div_ceil(8)
+    }
+}
+
+/// A nonlinear operation applied element-wise (or row-wise for softmax).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NonlinearTrace {
+    /// The operation.
+    pub op: mugi_numerics::nonlinear::NonlinearOp,
+    /// Number of elements processed.
+    pub elements: u64,
+    /// Row length for softmax (the normalisation dimension); 1 for
+    /// element-wise activations.
+    pub row_len: usize,
+    /// How many times the op repeats in the layer.
+    pub repeats: usize,
+}
+
+impl NonlinearTrace {
+    /// Total element count including repeats.
+    pub fn total_elements(&self) -> u64 {
+        self.elements * self.repeats as u64
+    }
+}
+
+/// One operation of a workload trace.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadOp {
+    /// A GEMM.
+    Gemm(GemmOp),
+    /// A nonlinear operation.
+    Nonlinear(NonlinearTrace),
+}
+
+/// A full per-layer operator trace plus workload metadata.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OpTrace {
+    /// The model configuration the trace was generated from.
+    pub model: ModelConfig,
+    /// Inference phase.
+    pub phase: Phase,
+    /// Batch size (number of concurrent requests).
+    pub batch: usize,
+    /// Sequence length (context length for decode, prompt length for prefill).
+    pub seq_len: usize,
+    /// Whether weights are INT4 (weight-only quantization).
+    pub woq: bool,
+    /// Whether the KV cache is INT4 (KV-cache quantization).
+    pub kvq: bool,
+    /// Operations of one transformer layer, in execution order.
+    pub layer_ops: Vec<WorkloadOp>,
+}
+
+impl OpTrace {
+    /// Generates the operator trace for one transformer layer of `model`.
+    ///
+    /// * In `Prefill`, every GEMM sees `batch × seq_len` activation rows.
+    /// * In `Decode`, projections/FFN see `batch` rows; attention GEMMs run
+    ///   against the cached `seq_len` keys/values. Under GQA the group of
+    ///   query heads sharing a KV head forms a small-batch GEMM of
+    ///   `batch × group` rows (the utilisation-critical case for Mugi).
+    ///
+    /// # Panics
+    /// Panics if `batch` or `seq_len` is zero.
+    pub fn generate(
+        model: &ModelConfig,
+        phase: Phase,
+        batch: usize,
+        seq_len: usize,
+        woq: bool,
+        kvq: bool,
+    ) -> Self {
+        assert!(batch > 0, "batch must be non-zero");
+        assert!(seq_len > 0, "seq_len must be non-zero");
+        let d = model.hidden_dim;
+        let head_dim = model.head_dim();
+        let kv_dim = head_dim * model.kv_heads;
+        let f = model.ffn_dim;
+        let weight_bits = if woq { 4 } else { 16 };
+        let kv_bits = if kvq { 4 } else { 16 };
+        let rows = match phase {
+            Phase::Prefill => batch * seq_len,
+            Phase::Decode => batch,
+        };
+        let mut ops = Vec::new();
+
+        // --- Projections: Q, K, V, O ------------------------------------
+        ops.push(WorkloadOp::Gemm(GemmOp {
+            kind: GemmKind::Projection,
+            m: rows,
+            k: d,
+            n: d,
+            activation_bits: 16,
+            weight_bits,
+            repeats: 2, // Q and O projections (d × d)
+        }));
+        ops.push(WorkloadOp::Gemm(GemmOp {
+            kind: GemmKind::Projection,
+            m: rows,
+            k: d,
+            n: kv_dim,
+            activation_bits: 16,
+            weight_bits,
+            repeats: 2, // K and V projections (d × kv_dim)
+        }));
+
+        // --- Attention ---------------------------------------------------
+        // Score GEMM (Q Kᵀ) and value GEMM (P V) per KV head. Under GQA the
+        // group of query heads forms the activation rows.
+        let group = model.gqa_group_size();
+        let (attn_rows, kv_len) = match phase {
+            Phase::Prefill => (batch * seq_len * group, seq_len),
+            Phase::Decode => (batch * group, seq_len),
+        };
+        ops.push(WorkloadOp::Gemm(GemmOp {
+            kind: GemmKind::Attention,
+            m: attn_rows,
+            k: head_dim,
+            n: kv_len,
+            activation_bits: 16,
+            weight_bits: kv_bits,
+            repeats: model.kv_heads, // score GEMM per KV head
+        }));
+        ops.push(WorkloadOp::Gemm(GemmOp {
+            kind: GemmKind::Attention,
+            m: attn_rows,
+            k: kv_len,
+            n: head_dim,
+            activation_bits: 16,
+            weight_bits: kv_bits,
+            repeats: model.kv_heads, // value GEMM per KV head
+        }));
+        // Softmax over the attention scores: one row of `kv_len` per query
+        // head per token.
+        let softmax_rows = match phase {
+            Phase::Prefill => batch as u64 * seq_len as u64 * model.attention_heads as u64,
+            Phase::Decode => batch as u64 * model.attention_heads as u64,
+        };
+        ops.push(WorkloadOp::Nonlinear(NonlinearTrace {
+            op: mugi_numerics::nonlinear::NonlinearOp::Softmax,
+            elements: softmax_rows * kv_len as u64,
+            row_len: kv_len,
+            repeats: 1,
+        }));
+
+        // --- FFN -----------------------------------------------------------
+        let up_repeats = if model.gated_ffn { 2 } else { 1 };
+        ops.push(WorkloadOp::Gemm(GemmOp {
+            kind: GemmKind::Ffn,
+            m: rows,
+            k: d,
+            n: f,
+            activation_bits: 16,
+            weight_bits,
+            repeats: up_repeats, // up (+ gate) projection
+        }));
+        ops.push(WorkloadOp::Gemm(GemmOp {
+            kind: GemmKind::Ffn,
+            m: rows,
+            k: f,
+            n: d,
+            activation_bits: 16,
+            weight_bits,
+            repeats: 1, // down projection
+        }));
+        // FFN activation applied to the up-projection output.
+        ops.push(WorkloadOp::Nonlinear(NonlinearTrace {
+            op: model.ffn_activation(),
+            elements: rows as u64 * f as u64,
+            row_len: 1,
+            repeats: 1,
+        }));
+
+        OpTrace { model: *model, phase, batch, seq_len, woq, kvq, layer_ops: ops }
+    }
+
+    /// Total MACs across all GEMMs of one layer.
+    pub fn layer_macs(&self) -> u64 {
+        self.layer_ops
+            .iter()
+            .map(|op| match op {
+                WorkloadOp::Gemm(g) => g.total_macs(),
+                WorkloadOp::Nonlinear(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Total nonlinear elements across one layer.
+    pub fn layer_nonlinear_elements(&self) -> u64 {
+        self.layer_ops
+            .iter()
+            .map(|op| match op {
+                WorkloadOp::Gemm(_) => 0,
+                WorkloadOp::Nonlinear(n) => n.total_elements(),
+            })
+            .sum()
+    }
+
+    /// Total MACs for the whole model (all layers).
+    pub fn model_macs(&self) -> u64 {
+        self.layer_macs() * self.model.layers as u64
+    }
+
+    /// Total weight bytes read per layer (each weight is read once per layer
+    /// under an output-stationary dataflow with sufficient on-chip reuse).
+    pub fn layer_weight_bytes(&self) -> u64 {
+        self.layer_ops
+            .iter()
+            .map(|op| match op {
+                WorkloadOp::Gemm(g) => g.weight_bytes() * g.repeats as u64,
+                WorkloadOp::Nonlinear(_) => 0,
+            })
+            .sum()
+    }
+
+    /// GEMM ops of a given kind.
+    pub fn gemms_of_kind(&self, kind: GemmKind) -> Vec<GemmOp> {
+        self.layer_ops
+            .iter()
+            .filter_map(|op| match op {
+                WorkloadOp::Gemm(g) if g.kind == kind => Some(*g),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Nonlinear traces of the layer.
+    pub fn nonlinears(&self) -> Vec<NonlinearTrace> {
+        self.layer_ops
+            .iter()
+            .filter_map(|op| match op {
+                WorkloadOp::Nonlinear(n) => Some(*n),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelId;
+    use mugi_numerics::nonlinear::NonlinearOp;
+
+    #[test]
+    fn decode_trace_has_expected_structure() {
+        let cfg = ModelId::Llama2_7b.config();
+        let trace = OpTrace::generate(&cfg, Phase::Decode, 8, 4096, true, true);
+        assert_eq!(trace.gemms_of_kind(GemmKind::Projection).len(), 2);
+        assert_eq!(trace.gemms_of_kind(GemmKind::Attention).len(), 2);
+        assert_eq!(trace.gemms_of_kind(GemmKind::Ffn).len(), 2);
+        let nl = trace.nonlinears();
+        assert_eq!(nl.len(), 2);
+        assert_eq!(nl[0].op, NonlinearOp::Softmax);
+        assert_eq!(nl[1].op, NonlinearOp::Silu);
+    }
+
+    #[test]
+    fn woq_and_kvq_shrink_weight_traffic() {
+        let cfg = ModelId::Llama2_7b.config();
+        let full = OpTrace::generate(&cfg, Phase::Decode, 8, 4096, false, false);
+        let quant = OpTrace::generate(&cfg, Phase::Decode, 8, 4096, true, true);
+        assert_eq!(full.layer_weight_bytes() / quant.layer_weight_bytes(), 4);
+        // MAC counts are unchanged by quantization.
+        assert_eq!(full.layer_macs(), quant.layer_macs());
+    }
+
+    #[test]
+    fn prefill_macs_scale_with_sequence_length() {
+        let cfg = ModelId::Llama2_7b.config();
+        let short = OpTrace::generate(&cfg, Phase::Prefill, 1, 128, true, true);
+        let long = OpTrace::generate(&cfg, Phase::Prefill, 1, 256, true, true);
+        // Projection/FFN GEMMs scale linearly; attention quadratically, so the
+        // total grows by a factor between 2 and 4.
+        let ratio = long.layer_macs() as f64 / short.layer_macs() as f64;
+        assert!(ratio > 2.0 && ratio < 4.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn gqa_reduces_attention_kv_repeats() {
+        let mha = ModelId::Llama2_13b.config();
+        let gqa = ModelId::Llama2_70b.config();
+        let mha_trace = OpTrace::generate(&mha, Phase::Decode, 8, 4096, true, true);
+        let gqa_trace = OpTrace::generate(&gqa, Phase::Decode, 8, 4096, true, true);
+        let mha_attn = &mha_trace.gemms_of_kind(GemmKind::Attention)[0];
+        let gqa_attn = &gqa_trace.gemms_of_kind(GemmKind::Attention)[0];
+        assert_eq!(mha_attn.repeats, 40);
+        assert_eq!(gqa_attn.repeats, 8);
+        // Under GQA the per-KV-head activation rows are batch × group = 64,
+        // a small-batch GEMM instead of 40 separate batch-8 GEMVs.
+        assert_eq!(gqa_attn.m, 8 * 8);
+        assert_eq!(mha_attn.m, 8);
+    }
+
+    #[test]
+    fn decode_attention_scales_with_context_not_batch_rows() {
+        let cfg = ModelId::Llama2_7b.config();
+        let t1 = OpTrace::generate(&cfg, Phase::Decode, 8, 1024, true, true);
+        let t2 = OpTrace::generate(&cfg, Phase::Decode, 8, 2048, true, true);
+        let a1: u64 = t1.gemms_of_kind(GemmKind::Attention).iter().map(|g| g.total_macs()).sum();
+        let a2: u64 = t2.gemms_of_kind(GemmKind::Attention).iter().map(|g| g.total_macs()).sum();
+        assert_eq!(a2, a1 * 2);
+        // Projection MACs do not change with context length in decode.
+        let p1: u64 = t1.gemms_of_kind(GemmKind::Projection).iter().map(|g| g.total_macs()).sum();
+        let p2: u64 = t2.gemms_of_kind(GemmKind::Projection).iter().map(|g| g.total_macs()).sum();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn nonlinear_elements_track_ffn_and_softmax() {
+        let cfg = ModelId::Llama2_7b.config();
+        let trace = OpTrace::generate(&cfg, Phase::Decode, 8, 4096, true, true);
+        let nl = trace.nonlinears();
+        // Softmax: batch * heads rows of seq_len.
+        assert_eq!(nl[0].total_elements(), 8 * 32 * 4096);
+        // SiLU: batch rows of ffn_dim.
+        assert_eq!(nl[1].total_elements(), 8 * 11008);
+        assert_eq!(trace.layer_nonlinear_elements(), 8 * 32 * 4096 + 8 * 11008);
+    }
+
+    #[test]
+    fn model_macs_multiply_by_layers() {
+        let cfg = ModelId::WhisperTiny.config();
+        let trace = OpTrace::generate(&cfg, Phase::Decode, 1, 128, false, false);
+        assert_eq!(trace.model_macs(), trace.layer_macs() * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be non-zero")]
+    fn zero_batch_rejected() {
+        let cfg = ModelId::Llama2_7b.config();
+        let _ = OpTrace::generate(&cfg, Phase::Decode, 0, 128, true, true);
+    }
+
+    #[test]
+    fn gemm_byte_accounting() {
+        let g = GemmOp {
+            kind: GemmKind::Projection,
+            m: 8,
+            k: 4096,
+            n: 4096,
+            activation_bits: 16,
+            weight_bits: 4,
+            repeats: 1,
+        };
+        assert_eq!(g.macs(), 8 * 4096 * 4096);
+        assert_eq!(g.weight_bytes(), 4096 * 4096 / 2);
+        assert_eq!(g.activation_bytes(), 8 * 4096 * 2);
+        assert_eq!(GemmKind::Ffn.label(), "FFN");
+    }
+}

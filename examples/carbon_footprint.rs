@@ -1,0 +1,54 @@
+//! Sustainability scenario: estimate the operational and embodied carbon of
+//! serving LLM tokens on Mugi versus the baseline accelerators (Figure 15 of
+//! the paper).
+//!
+//! Run with: `cargo run --example carbon_footprint`
+
+use mugi::arch::designs::{Design, DesignConfig};
+use mugi::arch::perf::PerfModel;
+use mugi::report::TextTable;
+use mugi_carbon::{footprint_for_tokens, CarbonModel};
+use mugi_workloads::models::ModelId;
+use mugi_workloads::ops::{OpTrace, Phase};
+
+fn main() {
+    let carbon = CarbonModel::default_act();
+    let tokens = 10_000_000u64; // ten million generated tokens
+    let models = [ModelId::Llama2_7b, ModelId::Llama2_13b, ModelId::Llama2_70b];
+    let designs = [
+        ("Mugi (256)", DesignConfig::mugi(256)),
+        ("Carat (256)", DesignConfig::carat(256)),
+        ("SA (16)", DesignConfig::systolic(16)),
+        ("SD-F (16)", DesignConfig::simd_figna(16)),
+    ];
+
+    for model in models {
+        let trace = OpTrace::generate(&model.config(), Phase::Decode, 8, 4096, true, true);
+        let mut table = TextTable::new(
+            format!("{} — carbon for serving {} tokens (batch 8, seq 4096)", model.name(), tokens),
+            &["design", "tokens/s", "operational gCO2", "embodied gCO2", "total gCO2"],
+        );
+        let mut mugi_total = 0.0;
+        for (label, cfg) in designs {
+            let perf = PerfModel::new(Design::new(cfg)).evaluate(&trace);
+            let fp = footprint_for_tokens(&carbon, &perf, tokens);
+            if label.starts_with("Mugi") {
+                mugi_total = fp.total_g();
+            }
+            table.add_row(vec![
+                label.to_string(),
+                format!("{:.2}", perf.tokens_per_second),
+                format!("{:.1}", fp.operational_g),
+                format!("{:.2}", fp.embodied_g),
+                format!("{:.1}", fp.total_g()),
+            ]);
+        }
+        println!("{table}");
+        let sa_perf = PerfModel::new(Design::new(DesignConfig::systolic(16))).evaluate(&trace);
+        let sa_fp = footprint_for_tokens(&carbon, &sa_perf, tokens);
+        println!(
+            "  Mugi reduces total carbon by {:.2}x vs SA (16)\n",
+            sa_fp.total_g() / mugi_total
+        );
+    }
+}

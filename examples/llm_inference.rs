@@ -1,0 +1,80 @@
+//! LLM inference scenario: compare Mugi against the systolic-array baseline on
+//! the paper's headline workload (Llama 2 70B with grouped-query attention,
+//! weight-only quantization and KV-cache quantization), across single-node and
+//! NoC configurations.
+//!
+//! Run with: `cargo run --example llm_inference`
+
+use mugi::arch::designs::{Design, DesignConfig};
+use mugi::arch::noc::NocConfig;
+use mugi::arch::perf::PerfModel;
+use mugi::report::TextTable;
+use mugi_workloads::models::ModelId;
+use mugi_workloads::ops::{OpTrace, Phase};
+
+fn main() {
+    let model = ModelId::Llama2_70b;
+    let trace = OpTrace::generate(&model.config(), Phase::Decode, 8, 4096, true, true);
+    println!(
+        "{} decode: {} layers, {:.1} GMAC per layer, GQA group {}",
+        model.name(),
+        trace.model.layers,
+        trace.layer_macs() as f64 / 1e9,
+        trace.model.gqa_group_size()
+    );
+
+    let designs = vec![
+        ("Mugi (128)", DesignConfig::mugi(128)),
+        ("Mugi (256)", DesignConfig::mugi(256)),
+        ("Carat (256)", DesignConfig::carat(256)),
+        ("SA (16)", DesignConfig::systolic(16)),
+        ("SA-F (16)", DesignConfig::systolic_figna(16)),
+        ("SD-F (16)", DesignConfig::simd_figna(16)),
+        ("Tensor", DesignConfig::tensor_core()),
+    ];
+
+    let mut single = TextTable::new(
+        "Single node — Llama 2 70B (GQA), batch 8, seq 4096",
+        &["design", "tokens/s", "area mm2", "uJ/token", "tokens/s/W", "nonlinear share"],
+    );
+    for (label, cfg) in &designs {
+        let model = PerfModel::new(Design::new(*cfg));
+        let perf = model.evaluate(&trace);
+        let node = model.run_trace(&trace);
+        single.add_row(vec![
+            label.to_string(),
+            format!("{:.3}", perf.tokens_per_second),
+            format!("{:.2}", perf.area_mm2),
+            format!("{:.1}", perf.energy_per_token_uj),
+            format!("{:.2}", perf.tokens_per_s_per_w),
+            format!("{:.1}%", 100.0 * node.cycle_breakdown.nonlinear / node.cycle_breakdown.total()),
+        ]);
+    }
+    println!("\n{single}");
+
+    let mut noc = TextTable::new(
+        "4x4 NoC — Llama 2 70B (GQA), batch 8, seq 4096",
+        &["design", "tokens/s", "area mm2", "uJ/token", "tokens/s/W"],
+    );
+    for (label, cfg) in &designs[..4] {
+        let perf = PerfModel::new(Design::new(*cfg)).evaluate_noc(&trace, NocConfig::mesh_4x4());
+        noc.add_row(vec![
+            label.to_string(),
+            format!("{:.2}", perf.tokens_per_second),
+            format!("{:.1}", perf.area_mm2),
+            format!("{:.1}", perf.energy_per_token_uj),
+            format!("{:.2}", perf.tokens_per_s_per_w),
+        ]);
+    }
+    println!("{noc}");
+
+    // Headline ratio the paper reports: Mugi(256) vs SA(16).
+    let mugi = PerfModel::new(Design::new(DesignConfig::mugi(256))).evaluate(&trace);
+    let sa = PerfModel::new(Design::new(DesignConfig::systolic(16))).evaluate(&trace);
+    println!(
+        "Mugi(256) vs SA(16): {:.2}x throughput, {:.2}x energy efficiency, {:.2}x power efficiency",
+        mugi.tokens_per_second / sa.tokens_per_second,
+        mugi.tokens_per_uj / sa.tokens_per_uj,
+        mugi.tokens_per_s_per_w / sa.tokens_per_s_per_w,
+    );
+}

@@ -1,0 +1,65 @@
+//! Nonlinear-approximation accuracy scenario: compare VLP approximation
+//! against the PWL, Taylor, partial-approximation and direct-LUT baselines on
+//! inputs drawn from profiled LLM activation distributions, and show the
+//! proxy-perplexity effect on a reference transformer.
+//!
+//! Run with: `cargo run --example nonlinear_accuracy`
+
+use mugi::experiments::accuracy::{
+    best_perplexity, fig06_accuracy_sweep, fig06_table, fig08_relative_error, fig08_table, Method,
+};
+use mugi::experiments::Preset;
+use mugi::report::TextTable;
+use mugi_approx::pwl::PwlConfig;
+use mugi_approx::taylor::TaylorConfig;
+use mugi_approx::{Approximator, PiecewiseLinear, TaylorSeries};
+use mugi_numerics::error::ErrorSummary;
+use mugi_numerics::nonlinear::NonlinearOp;
+use mugi_vlp::approx::{VlpApproxConfig, VlpNonlinear};
+use mugi_workloads::distributions::DistributionProfile;
+use mugi_workloads::models::ModelId;
+
+fn main() {
+    // Direct element-wise comparison on profiled softmax inputs.
+    let dist = DistributionProfile::for_model(ModelId::Llama2_7b, NonlinearOp::Softmax, 0.5);
+    let inputs = dist.sample(20_000, 7);
+    let exact: Vec<f32> = inputs.iter().map(|&x| x.exp()).collect();
+
+    let vlp = VlpNonlinear::new(NonlinearOp::Exp, VlpApproxConfig::recommended_for(NonlinearOp::Exp));
+    let pwl = PiecewiseLinear::new(NonlinearOp::Exp, PwlConfig { segments: 22, segment_range: 20.0 });
+    let taylor = TaylorSeries::new(NonlinearOp::Exp, TaylorConfig { degree: 9, center: -1.0 });
+
+    let mut table = TextTable::new(
+        "exp() approximation error on profiled Llama 2 softmax inputs",
+        &["method", "rmse", "mean relative error"],
+    );
+    for (name, outputs) in [
+        ("VLP (Mugi)", vlp.apply(&inputs).0),
+        ("PWL (22 segments)", pwl.eval_slice(&inputs)),
+        ("Taylor (degree 9)", taylor.eval_slice(&inputs)),
+    ] {
+        let summary = ErrorSummary::compare(&exact, &outputs);
+        table.add_row(vec![
+            name.to_string(),
+            format!("{:.4e}", summary.rmse),
+            format!("{:.2}%", summary.mean_rel * 100.0),
+        ]);
+    }
+    println!("{table}");
+
+    // Figure-8-style comparison across ops and methods.
+    let rows = fig08_relative_error(Preset::Quick);
+    println!("{}", fig08_table(&rows));
+
+    // Figure-6-style end-to-end proxy perplexity on a Llama-like reference
+    // model.
+    let rows = fig06_accuracy_sweep(Preset::Quick, ModelId::Llama2_7b);
+    println!("{}", fig06_table(&rows));
+    println!(
+        "best proxy PPL — exact {:.4}, VLP {:.4}, PWL {:.4}, Taylor {:.4}",
+        best_perplexity(&rows, Method::Exact).unwrap(),
+        best_perplexity(&rows, Method::Vlp).unwrap(),
+        best_perplexity(&rows, Method::Pwl).unwrap(),
+        best_perplexity(&rows, Method::Taylor).unwrap(),
+    );
+}

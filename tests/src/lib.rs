@@ -1,0 +1,2 @@
+//! Cross-crate integration tests for the Mugi reproduction live in the
+//! `tests/` directory of this package; this library is intentionally empty.
