@@ -122,8 +122,14 @@ mod tests {
     fn lut_error_shrinks_with_entries() {
         let xs: Vec<f32> = (-80..=80).map(|i| i as f32 / 10.0).collect();
         let exact: Vec<f32> = xs.iter().map(|&x| silu(x)).collect();
-        let small = DirectLut::new(NonlinearOp::Silu, DirectLutConfig { entries: 64, ..Default::default() });
-        let large = DirectLut::new(NonlinearOp::Silu, DirectLutConfig { entries: 4096, ..Default::default() });
+        let small = DirectLut::new(
+            NonlinearOp::Silu,
+            DirectLutConfig { entries: 64, ..Default::default() },
+        );
+        let large = DirectLut::new(
+            NonlinearOp::Silu,
+            DirectLutConfig { entries: 4096, ..Default::default() },
+        );
         let small_err = max_abs_error(&exact, &small.eval_slice(&xs));
         let large_err = max_abs_error(&exact, &large.eval_slice(&xs));
         assert!(large_err < small_err);
@@ -132,7 +138,10 @@ mod tests {
 
     #[test]
     fn out_of_range_behaviour() {
-        let lut = DirectLut::new(NonlinearOp::Softmax, DirectLutConfig { entries: 256, min_input: -20.0, max_input: 0.0, lanes_per_lut: 8 });
+        let lut = DirectLut::new(
+            NonlinearOp::Softmax,
+            DirectLutConfig { entries: 256, min_input: -20.0, max_input: 0.0, lanes_per_lut: 8 },
+        );
         assert_eq!(lut.eval(-100.0), 0.0);
         assert!((lut.eval(5.0) - 1.0).abs() < 0.05);
         let lut = DirectLut::new(NonlinearOp::Gelu, DirectLutConfig::default());
@@ -142,8 +151,14 @@ mod tests {
 
     #[test]
     fn storage_grows_with_entries() {
-        let small = DirectLut::new(NonlinearOp::Silu, DirectLutConfig { entries: 64, ..Default::default() });
-        let large = DirectLut::new(NonlinearOp::Silu, DirectLutConfig { entries: 1024, ..Default::default() });
+        let small = DirectLut::new(
+            NonlinearOp::Silu,
+            DirectLutConfig { entries: 64, ..Default::default() },
+        );
+        let large = DirectLut::new(
+            NonlinearOp::Silu,
+            DirectLutConfig { entries: 1024, ..Default::default() },
+        );
         assert_eq!(small.storage_bits(), 64 * 16);
         assert!(large.storage_bits() > small.storage_bits());
         assert_eq!(large.cycles_per_element(), 1);
@@ -153,6 +168,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid input range")]
     fn empty_range_rejected() {
-        DirectLut::new(NonlinearOp::Silu, DirectLutConfig { entries: 8, min_input: 1.0, max_input: 1.0, lanes_per_lut: 8 });
+        DirectLut::new(
+            NonlinearOp::Silu,
+            DirectLutConfig { entries: 8, min_input: 1.0, max_input: 1.0, lanes_per_lut: 8 },
+        );
     }
 }

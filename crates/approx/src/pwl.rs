@@ -136,10 +136,7 @@ impl Approximator for PiecewiseLinear {
     }
 
     fn label(&self) -> String {
-        format!(
-            "PWL({} segments, range {})",
-            self.config.segments, self.config.segment_range
-        )
+        format!("PWL({} segments, range {})", self.config.segments, self.config.segment_range)
     }
 }
 
@@ -151,7 +148,8 @@ mod tests {
 
     #[test]
     fn pwl_is_exact_at_breakpoints() {
-        let pwl = PiecewiseLinear::new(NonlinearOp::Silu, PwlConfig { segments: 10, segment_range: 5.0 });
+        let pwl =
+            PiecewiseLinear::new(NonlinearOp::Silu, PwlConfig { segments: 10, segment_range: 5.0 });
         for i in 0..=10 {
             let x = -5.0 + i as f32;
             assert!((pwl.eval(x) - silu(x)).abs() < 1e-5, "breakpoint {x}");
@@ -162,8 +160,10 @@ mod tests {
     fn more_segments_reduce_error() {
         let xs: Vec<f32> = (-50..=50).map(|i| i as f32 / 10.0).collect();
         let exact: Vec<f32> = xs.iter().map(|&x| gelu_erf(x)).collect();
-        let coarse = PiecewiseLinear::new(NonlinearOp::Gelu, PwlConfig { segments: 4, segment_range: 5.0 });
-        let fine = PiecewiseLinear::new(NonlinearOp::Gelu, PwlConfig { segments: 32, segment_range: 5.0 });
+        let coarse =
+            PiecewiseLinear::new(NonlinearOp::Gelu, PwlConfig { segments: 4, segment_range: 5.0 });
+        let fine =
+            PiecewiseLinear::new(NonlinearOp::Gelu, PwlConfig { segments: 32, segment_range: 5.0 });
         let coarse_err = max_abs_error(&exact, &coarse.eval_slice(&xs));
         let fine_err = max_abs_error(&exact, &fine.eval_slice(&xs));
         assert!(fine_err < coarse_err);
@@ -172,10 +172,14 @@ mod tests {
 
     #[test]
     fn out_of_range_behaviour() {
-        let sm = PiecewiseLinear::new(NonlinearOp::Softmax, PwlConfig { segments: 22, segment_range: 20.0 });
+        let sm = PiecewiseLinear::new(
+            NonlinearOp::Softmax,
+            PwlConfig { segments: 22, segment_range: 20.0 },
+        );
         assert_eq!(sm.eval(-100.0), 0.0);
         assert!((sm.eval(0.0) - 1.0).abs() < 1e-5);
-        let silu_pwl = PiecewiseLinear::new(NonlinearOp::Silu, PwlConfig { segments: 22, segment_range: 8.0 });
+        let silu_pwl =
+            PiecewiseLinear::new(NonlinearOp::Silu, PwlConfig { segments: 22, segment_range: 8.0 });
         assert_eq!(silu_pwl.eval(50.0), 50.0);
         assert_eq!(silu_pwl.eval(-50.0), 0.0);
         assert!(sm.eval(f32::NAN).is_nan());

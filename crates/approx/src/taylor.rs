@@ -243,9 +243,8 @@ mod tests {
         let exact: Vec<f32> = xs.iter().map(|&x| x.exp()).collect();
         let low = TaylorSeries::new(NonlinearOp::Exp, TaylorConfig { degree: 3, center: -1.5 });
         let high = TaylorSeries::new(NonlinearOp::Exp, TaylorConfig { degree: 9, center: -1.5 });
-        let err = |t: &TaylorSeries| -> f32 {
-            mugi_numerics::error::rmse(&exact, &t.eval_slice(&xs))
-        };
+        let err =
+            |t: &TaylorSeries| -> f32 { mugi_numerics::error::rmse(&exact, &t.eval_slice(&xs)) };
         assert!(err(&high) < err(&low));
     }
 

@@ -1,11 +1,11 @@
 //! Property-based tests for the baseline approximators.
 
-use mugi_approx::{
-    Approximator, DirectLut, PartialApprox, PiecewiseLinear, PreciseVectorArray, TaylorSeries,
-};
 use mugi_approx::lut_direct::DirectLutConfig;
 use mugi_approx::pwl::PwlConfig;
 use mugi_approx::taylor::TaylorConfig;
+use mugi_approx::{
+    Approximator, DirectLut, PartialApprox, PiecewiseLinear, PreciseVectorArray, TaylorSeries,
+};
 use mugi_numerics::nonlinear::{silu, NonlinearOp};
 use proptest::prelude::*;
 

@@ -106,7 +106,9 @@ impl DesignKind {
     pub fn is_vector_array(self) -> bool {
         matches!(
             self,
-            DesignKind::VectorArrayPrecise | DesignKind::VectorArrayTaylor | DesignKind::VectorArrayPwl
+            DesignKind::VectorArrayPrecise
+                | DesignKind::VectorArrayTaylor
+                | DesignKind::VectorArrayPwl
         )
     }
 }
@@ -142,7 +144,11 @@ impl DesignConfig {
 
     /// Mugi-L: VLP GEMM array plus dedicated LUT nonlinear hardware.
     pub fn mugi_l(height: usize) -> Self {
-        DesignConfig { nonlinear: NonlinearMethod::DirectLut, kind: DesignKind::MugiL, ..Self::mugi(height) }
+        DesignConfig {
+            nonlinear: NonlinearMethod::DirectLut,
+            kind: DesignKind::MugiL,
+            ..Self::mugi(height)
+        }
     }
 
     /// Carat with the given array height; nonlinear ops fall back to a
@@ -284,9 +290,9 @@ impl Design {
             DesignKind::SystolicArray | DesignKind::SimdArray => PeKind::MacBf16,
             DesignKind::SystolicFigna | DesignKind::SimdFigna => PeKind::Figna,
             DesignKind::TensorCore => PeKind::MacInt,
-            DesignKind::VectorArrayPrecise | DesignKind::VectorArrayTaylor | DesignKind::VectorArrayPwl => {
-                PeKind::MacBf16
-            }
+            DesignKind::VectorArrayPrecise
+            | DesignKind::VectorArrayTaylor
+            | DesignKind::VectorArrayPwl => PeKind::MacBf16,
         };
         // Tensor core: 8x16x16 = 2048 MAC lanes.
         let (pe_h, pe_w) = match config.kind {
@@ -315,12 +321,16 @@ impl Design {
             DesignKind::SystolicArray | DesignKind::SystolicFigna => {
                 AccumulatorBank { count: config.width }
             }
-            DesignKind::SimdArray | DesignKind::SimdFigna => AccumulatorBank { count: config.width },
+            DesignKind::SimdArray | DesignKind::SimdFigna => {
+                AccumulatorBank { count: config.width }
+            }
             DesignKind::TensorCore => AccumulatorBank { count: 16 * 8 },
             _ => AccumulatorBank { count: config.height },
         };
         let fifo = match config.kind {
-            DesignKind::Mugi | DesignKind::MugiL => FifoBank::mugi_style(config.height, config.width, 16),
+            DesignKind::Mugi | DesignKind::MugiL => {
+                FifoBank::mugi_style(config.height, config.width, 16)
+            }
             DesignKind::Carat => FifoBank::carat_style(config.height, config.width, 16),
             DesignKind::SystolicArray | DesignKind::SystolicFigna => {
                 // Skew/deskew registers along both edges.
@@ -341,11 +351,8 @@ impl Design {
         };
         // Non-VLP GEMM designs additionally carry a standalone nonlinear
         // vector array (the paper's point: they cannot reuse the GEMM array).
-        let standalone_nonlinear_lanes = if config.kind.is_vlp() || config.kind.is_vector_array() {
-            0
-        } else {
-            16
-        };
+        let standalone_nonlinear_lanes =
+            if config.kind.is_vlp() || config.kind.is_vector_array() { 0 } else { 16 };
         let vector = VectorUnit { lanes: vector_lanes + standalone_nonlinear_lanes };
         // Three on-chip buffers (input / weight / output).
         let sram = Sram { kib: config.sram_kib * 3.0 };
@@ -441,7 +448,8 @@ impl Design {
     pub fn gemm_cycles(&self, gemm: &GemmOp) -> u64 {
         let n_aggregate = gemm.n.saturating_mul(gemm.repeats.max(1));
         let per_cycle = self.effective_macs_per_cycle(gemm.m, n_aggregate).max(1e-9);
-        let cycles = (gemm.total_macs() as f64 / per_cycle / gemm.repeats.max(1) as f64).ceil() as u64;
+        let cycles =
+            (gemm.total_macs() as f64 / per_cycle / gemm.repeats.max(1) as f64).ceil() as u64;
         // Weight-stationary designs pay a pipeline fill per tile column; VLP
         // designs pay the sweep latency once per tile. Both are small next to
         // the streaming time; include them for fidelity.
@@ -463,11 +471,8 @@ impl Design {
         let pe = self.pe_array.energy_pj(&self.cost, macs);
         let sram_bytes = (gemm.weight_bytes() + gemm.activation_bytes()) * gemm.repeats as u64;
         let sram = sram_bytes as f64 * self.cost.sram_energy_pj_per_byte;
-        let dequant_ops = if gemm.weight_bits < 16 {
-            (gemm.m * gemm.n * gemm.repeats) as u64
-        } else {
-            0
-        };
+        let dequant_ops =
+            if gemm.weight_bits < 16 { (gemm.m * gemm.n * gemm.repeats) as u64 } else { 0 };
         let vector = dequant_ops as f64 * self.cost.vector_lane_energy_pj;
         let accumulate = macs as f64 * 0.1 * self.cost.accumulator_energy_pj;
         pe + sram + vector + accumulate
@@ -520,9 +525,7 @@ impl Design {
                     * self.nonlinear_costs.taylor as f64
                     * self.cost.vector_lane_energy_pj
             }
-            NonlinearMethod::Pwl => {
-                elements as f64 * 2.0 * self.cost.vector_lane_energy_pj
-            }
+            NonlinearMethod::Pwl => elements as f64 * 2.0 * self.cost.vector_lane_energy_pj,
         }
     }
 
@@ -626,12 +629,12 @@ mod tests {
     fn nonlinear_throughput_ordering_matches_figure_11() {
         let elements = 1_000_000u64;
         let mugi = Design::new(DesignConfig::mugi(128)).nonlinear_cycles(elements);
-        let va_precise =
-            Design::new(DesignConfig::vector_array(16, NonlinearMethod::Precise)).nonlinear_cycles(elements);
-        let va_taylor =
-            Design::new(DesignConfig::vector_array(16, NonlinearMethod::Taylor)).nonlinear_cycles(elements);
-        let va_pwl =
-            Design::new(DesignConfig::vector_array(16, NonlinearMethod::Pwl)).nonlinear_cycles(elements);
+        let va_precise = Design::new(DesignConfig::vector_array(16, NonlinearMethod::Precise))
+            .nonlinear_cycles(elements);
+        let va_taylor = Design::new(DesignConfig::vector_array(16, NonlinearMethod::Taylor))
+            .nonlinear_cycles(elements);
+        let va_pwl = Design::new(DesignConfig::vector_array(16, NonlinearMethod::Pwl))
+            .nonlinear_cycles(elements);
         // Mugi >> PWL > Taylor > precise in throughput (i.e. fewer cycles).
         assert!(mugi < va_pwl && va_pwl < va_taylor && va_taylor < va_precise);
         // Mugi vs precise vector array: the paper reports ~45x; accept 20–80x.
@@ -679,7 +682,9 @@ mod tests {
     fn tensor_core_has_highest_raw_throughput() {
         let tensor = Design::new(DesignConfig::tensor_core());
         let mugi = Design::new(DesignConfig::mugi(256));
-        assert!(tensor.effective_macs_per_cycle(16, 8192) > mugi.effective_macs_per_cycle(16, 8192));
+        assert!(
+            tensor.effective_macs_per_cycle(16, 8192) > mugi.effective_macs_per_cycle(16, 8192)
+        );
         // But it needs a large batch to fill: at batch 8 it loses half.
         assert!(
             tensor.effective_macs_per_cycle(8, 8192) < tensor.effective_macs_per_cycle(16, 8192)

@@ -45,11 +45,7 @@ pub struct Schedule {
 impl Schedule {
     /// Busy cycles of one resource.
     pub fn busy_cycles(&self, resource: Resource) -> u64 {
-        self.busy
-            .iter()
-            .find(|(r, _)| *r == resource)
-            .map(|(_, c)| *c)
-            .unwrap_or(0)
+        self.busy.iter().find(|(r, _)| *r == resource).map(|(_, c)| *c).unwrap_or(0)
     }
 
     /// Utilization of a resource over the makespan (0..=1).
@@ -101,12 +97,8 @@ impl EventEngine {
         // Events are processed in submission order per resource; a min-heap on
         // (earliest_start, index) keeps deterministic ordering across
         // resources when start times tie.
-        let mut order: BinaryHeap<Reverse<(u64, usize)>> = self
-            .events
-            .iter()
-            .enumerate()
-            .map(|(i, e)| Reverse((e.earliest_start, i)))
-            .collect();
+        let mut order: BinaryHeap<Reverse<(u64, usize)>> =
+            self.events.iter().enumerate().map(|(i, e)| Reverse((e.earliest_start, i))).collect();
         completions.resize(self.events.len(), 0);
         let mut makespan = 0;
         while let Some(Reverse((_, idx))) = order.pop() {
@@ -168,7 +160,11 @@ mod tests {
         let mut engine = EventEngine::new();
         for i in 0..4 {
             engine.submit(Event { resource: Resource::Memory, earliest_start: 0, duration: 100 });
-            engine.submit(Event { resource: Resource::Compute, earliest_start: i * 100, duration: 20 });
+            engine.submit(Event {
+                resource: Resource::Compute,
+                earliest_start: i * 100,
+                duration: 20,
+            });
         }
         let (schedule, _) = engine.run();
         assert_eq!(schedule.makespan, 400);

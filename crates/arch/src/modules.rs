@@ -201,7 +201,12 @@ impl NonlinearUnit {
     /// Direct LUT hardware (Mugi-L): one LUT copy per `lanes_per_lut` lanes,
     /// implemented in registers/FIFOs to stay programmable (which is what
     /// makes it expensive in Figure 13).
-    pub fn direct_lut(lanes: usize, entries: usize, lanes_per_lut: usize, cost: &CostModel) -> Self {
+    pub fn direct_lut(
+        lanes: usize,
+        entries: usize,
+        lanes_per_lut: usize,
+        cost: &CostModel,
+    ) -> Self {
         let copies = lanes.div_ceil(lanes_per_lut).max(1);
         let bits = copies * entries * 16;
         NonlinearUnit {

@@ -177,12 +177,9 @@ impl PerfModel {
         let total_cycles = layer_cycles * layers;
         let memory_bound =
             schedule.busy_cycles(Resource::Memory) > schedule.busy_cycles(Resource::Compute);
-        let compute_utilization = if layer_cycles == 0 {
-            0.0
-        } else {
-            compute_cycles_total as f64 / layer_cycles as f64
-        }
-        .min(1.0);
+        let compute_utilization =
+            if layer_cycles == 0 { 0.0 } else { compute_cycles_total as f64 / layer_cycles as f64 }
+                .min(1.0);
 
         let dynamic_energy_pj = energy_breakdown.total() * layers as f64;
         let runtime_s = cost.cycles_to_seconds(total_cycles);
@@ -235,23 +232,18 @@ impl PerfModel {
             .sum::<u64>()
             * trace.model.layers as u64;
         let noc_energy_pj = noc.transfer_energy_pj(noc_bytes, cost);
-        let total_energy_pj = node.dynamic_energy_pj + node.hbm_energy_pj + leakage_pj + noc_energy_pj;
-        let energy_per_token_uj = if tokens_per_step > 0.0 {
-            total_energy_pj * 1e-6 / tokens_per_step
-        } else {
-            0.0
-        };
+        let total_energy_pj =
+            node.dynamic_energy_pj + node.hbm_energy_pj + leakage_pj + noc_energy_pj;
+        let energy_per_token_uj =
+            if tokens_per_step > 0.0 { total_energy_pj * 1e-6 / tokens_per_step } else { 0.0 };
         let tokens_per_uj = if energy_per_token_uj > 0.0 { 1.0 / energy_per_token_uj } else { 0.0 };
         let average_power_w = if runtime_s > 0.0 {
             CostModel::pj_to_joules(total_energy_pj) / runtime_s
         } else {
             0.0
         };
-        let tokens_per_s_per_w = if average_power_w > 0.0 {
-            tokens_per_second / average_power_w
-        } else {
-            0.0
-        };
+        let tokens_per_s_per_w =
+            if average_power_w > 0.0 { tokens_per_second / average_power_w } else { 0.0 };
         let area_mm2 = self.design.area_mm2() * nodes + noc.router_area_mm2(cost);
 
         WorkloadPerformance {
@@ -278,7 +270,8 @@ impl PerfModel {
         let total_pj = energy_pj + leakage_pj;
         let throughput = if runtime_s > 0.0 { elements as f64 / runtime_s } else { 0.0 };
         let energy_eff = if total_pj > 0.0 { elements as f64 / (total_pj * 1e-6) } else { 0.0 };
-        let power_w = if runtime_s > 0.0 { CostModel::pj_to_joules(total_pj) / runtime_s } else { 0.0 };
+        let power_w =
+            if runtime_s > 0.0 { CostModel::pj_to_joules(total_pj) / runtime_s } else { 0.0 };
         let power_eff = if power_w > 0.0 { throughput / power_w } else { 0.0 };
         NonlinearPerformance {
             cycles,
@@ -362,8 +355,8 @@ mod tests {
             let trace = decode_trace(ModelId::Llama2_7b, batch, 1024);
             PerfModel::new(Design::new(cfg)).evaluate(&trace).tokens_per_second
         };
-        let mugi_gain = tokens_per_s(DesignConfig::mugi(256), 16)
-            / tokens_per_s(DesignConfig::mugi(256), 8);
+        let mugi_gain =
+            tokens_per_s(DesignConfig::mugi(256), 16) / tokens_per_s(DesignConfig::mugi(256), 8);
         let sa_gain = tokens_per_s(DesignConfig::systolic(16), 16)
             / tokens_per_s(DesignConfig::systolic(16), 8);
         assert!(mugi_gain < 1.2, "mugi gain {mugi_gain}");
@@ -416,14 +409,8 @@ mod tests {
     #[test]
     fn prefill_is_compute_bound_and_low_bandwidth_becomes_memory_bound() {
         let model = PerfModel::new(Design::new(DesignConfig::mugi(256)));
-        let prefill = OpTrace::generate(
-            &ModelId::Llama2_7b.config(),
-            Phase::Prefill,
-            1,
-            512,
-            true,
-            true,
-        );
+        let prefill =
+            OpTrace::generate(&ModelId::Llama2_7b.config(), Phase::Prefill, 1, 512, true, true);
         let node = model.run_trace(&prefill);
         assert!(!node.memory_bound, "prefill should be compute bound");
         // With the paper's 256 GB/s the decode step is compute bound; throttle

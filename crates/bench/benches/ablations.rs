@@ -53,8 +53,8 @@ fn bench_window_ablation(c: &mut Criterion) {
 /// Ablation: mantissa rounding width (2 / 3 / 4 bits) — the paper fixes 3 bits
 /// to match the 8-column array; this shows the accuracy/latency trade-off.
 fn bench_mantissa_ablation(c: &mut Criterion) {
-    let inputs = DistributionProfile::for_model(ModelId::Llama2_7b, NonlinearOp::Silu, 0.5)
-        .sample(8192, 11);
+    let inputs =
+        DistributionProfile::for_model(ModelId::Llama2_7b, NonlinearOp::Silu, 0.5).sample(8192, 11);
     let exact: Vec<f32> = inputs.iter().map(|&x| mugi_numerics::nonlinear::silu(x)).collect();
     let mut group = c.benchmark_group("ablation_mantissa_bits");
     group.sample_size(20);

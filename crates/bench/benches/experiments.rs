@@ -37,9 +37,7 @@ fn bench_experiment_drivers(c: &mut Criterion) {
     group.bench_function("fig14_batch_sweep", |b| {
         b.iter(|| black_box(fig14_batch_sweep(Preset::Quick)))
     });
-    group.bench_function("fig15_carbon", |b| {
-        b.iter(|| black_box(fig15_carbon(Preset::Quick)))
-    });
+    group.bench_function("fig15_carbon", |b| b.iter(|| black_box(fig15_carbon(Preset::Quick))));
     group.bench_function("fig16_latency_breakdown", |b| {
         b.iter(|| black_box(fig16_latency_breakdown(Preset::Quick)))
     });

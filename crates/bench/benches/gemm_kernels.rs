@@ -35,7 +35,8 @@ fn bench_functional_gemm(c: &mut Criterion) {
 fn bench_design_evaluation(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm_design_evaluation");
     group.sample_size(30);
-    let trace = OpTrace::generate(&ModelId::Llama2_70b.config(), Phase::Decode, 8, 4096, true, true);
+    let trace =
+        OpTrace::generate(&ModelId::Llama2_70b.config(), Phase::Decode, 8, 4096, true, true);
     for (label, cfg) in [
         ("mugi_256", DesignConfig::mugi(256)),
         ("carat_256", DesignConfig::carat(256)),
@@ -65,16 +66,13 @@ fn bench_mapping_ablation(c: &mut Criterion) {
     ] {
         let engine = VlpGemm::new(cfg);
         group.bench_function(label, |b| {
-            b.iter(|| black_box(engine.gemm_bf16_int4(black_box(&activations), black_box(&quantized))))
+            b.iter(|| {
+                black_box(engine.gemm_bf16_int4(black_box(&activations), black_box(&quantized)))
+            })
         });
     }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_functional_gemm,
-    bench_design_evaluation,
-    bench_mapping_ablation
-);
+criterion_group!(benches, bench_functional_gemm, bench_design_evaluation, bench_mapping_ablation);
 criterion_main!(benches);

@@ -24,16 +24,21 @@ fn bench_functional_kernels(c: &mut Criterion) {
     let inputs = softmax_inputs(16 * 1024);
     let mut group = c.benchmark_group("nonlinear_functional_exp");
     group.sample_size(20);
-    let vlp = VlpNonlinear::new(NonlinearOp::Exp, VlpApproxConfig::recommended_for(NonlinearOp::Exp));
+    let vlp =
+        VlpNonlinear::new(NonlinearOp::Exp, VlpApproxConfig::recommended_for(NonlinearOp::Exp));
     group.bench_function("vlp", |b| b.iter(|| black_box(vlp.apply(black_box(&inputs)))));
-    let pwl = PiecewiseLinear::new(NonlinearOp::Exp, PwlConfig { segments: 22, segment_range: 20.0 });
+    let pwl =
+        PiecewiseLinear::new(NonlinearOp::Exp, PwlConfig { segments: 22, segment_range: 20.0 });
     group.bench_function("pwl", |b| b.iter(|| black_box(pwl.eval_slice(black_box(&inputs)))));
     let taylor = TaylorSeries::new(NonlinearOp::Exp, TaylorConfig { degree: 9, center: -1.0 });
     group.bench_function("taylor", |b| b.iter(|| black_box(taylor.eval_slice(black_box(&inputs)))));
     let lut = DirectLut::new(NonlinearOp::Exp, DirectLutConfig::default());
-    group.bench_function("direct_lut", |b| b.iter(|| black_box(lut.eval_slice(black_box(&inputs)))));
+    group
+        .bench_function("direct_lut", |b| b.iter(|| black_box(lut.eval_slice(black_box(&inputs)))));
     let precise = PreciseVectorArray::new(NonlinearOp::Exp);
-    group.bench_function("precise", |b| b.iter(|| black_box(precise.eval_slice(black_box(&inputs)))));
+    group.bench_function("precise", |b| {
+        b.iter(|| black_box(precise.eval_slice(black_box(&inputs))))
+    });
     group.finish();
 }
 

@@ -9,7 +9,9 @@ fn main() {
     print_header("Figure 6 (accuracy sweep)", preset);
     let models = match preset {
         Preset::Quick => vec![ModelId::Llama2_7b],
-        Preset::Full => vec![ModelId::Llama2_7b, ModelId::Llama2_13b, ModelId::WhisperTiny, ModelId::Swinv2Tiny],
+        Preset::Full => {
+            vec![ModelId::Llama2_7b, ModelId::Llama2_13b, ModelId::WhisperTiny, ModelId::Swinv2Tiny]
+        }
     };
     for model in models {
         let rows = fig06_accuracy_sweep(preset, model);

@@ -138,14 +138,8 @@ mod tests {
     fn mugi_reduces_both_operational_and_embodied_carbon_vs_systolic() {
         // Figure 15: Mugi lowers operational carbon ~1.45x and embodied
         // carbon ~1.48x versus the baseline on LLM serving.
-        let trace = OpTrace::generate(
-            &ModelId::Llama2_70b.config(),
-            Phase::Decode,
-            8,
-            4096,
-            true,
-            true,
-        );
+        let trace =
+            OpTrace::generate(&ModelId::Llama2_70b.config(), Phase::Decode, 8, 4096, true, true);
         let model = CarbonModel::default_act();
         let mugi = PerfModel::new(Design::new(DesignConfig::mugi(256))).evaluate(&trace);
         let sa = PerfModel::new(Design::new(DesignConfig::systolic(16))).evaluate(&trace);

@@ -43,8 +43,14 @@ pub fn ablation_window(preset: Preset) -> Vec<WindowAblationRow> {
     let base = VlpApproxConfig::recommended_for(NonlinearOp::Exp);
     let configs = vec![
         ("adaptive (AnchorMax)".to_string(), base),
-        ("fixed lo = -4".to_string(), VlpApproxConfig { strategy: WindowStrategy::Fixed(-4), ..base }),
-        ("fixed lo = 0".to_string(), VlpApproxConfig { strategy: WindowStrategy::Fixed(0), ..base }),
+        (
+            "fixed lo = -4".to_string(),
+            VlpApproxConfig { strategy: WindowStrategy::Fixed(-4), ..base },
+        ),
+        (
+            "fixed lo = 0".to_string(),
+            VlpApproxConfig { strategy: WindowStrategy::Fixed(0), ..base },
+        ),
         (
             "mis-placed lo = -12".to_string(),
             VlpApproxConfig {
@@ -104,7 +110,10 @@ pub fn ablation_mantissa(preset: Preset) -> Vec<MantissaAblationRow> {
     let exact: Vec<f32> = inputs.iter().map(|&x| mugi_numerics::nonlinear::silu(x)).collect();
     (2u8..=5)
         .map(|bits| {
-            let cfg = VlpApproxConfig { mantissa_bits: bits, ..VlpApproxConfig::recommended_for(NonlinearOp::Silu) };
+            let cfg = VlpApproxConfig {
+                mantissa_bits: bits,
+                ..VlpApproxConfig::recommended_for(NonlinearOp::Silu)
+            };
             let engine = VlpNonlinear::new(NonlinearOp::Silu, cfg);
             let (approx, _) = engine.apply(&inputs);
             MantissaAblationRow {
@@ -142,7 +151,11 @@ pub struct BufferAblationRow {
 impl BufferAblationRow {
     /// Area reduction factor.
     pub fn reduction(&self) -> f64 {
-        if self.mugi_mm2 > 0.0 { self.carat_mm2 / self.mugi_mm2 } else { 0.0 }
+        if self.mugi_mm2 > 0.0 {
+            self.carat_mm2 / self.mugi_mm2
+        } else {
+            0.0
+        }
     }
 }
 
@@ -192,7 +205,8 @@ pub struct BandwidthRow {
 /// off-chip bandwidth (the paper fixes 256 GB/s and asserts compute-boundness;
 /// this sweep finds where that assumption breaks).
 pub fn ablation_bandwidth(preset: Preset) -> Vec<BandwidthRow> {
-    let trace = OpTrace::generate(&ModelId::Llama2_70b.config(), Phase::Decode, 8, 4096, true, true);
+    let trace =
+        OpTrace::generate(&ModelId::Llama2_70b.config(), Phase::Decode, 8, 4096, true, true);
     let bandwidths: Vec<f64> = match preset {
         Preset::Quick => vec![2.0, 64.0, 256.0],
         Preset::Full => vec![2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0],
@@ -293,7 +307,12 @@ mod tests {
         let rows = ablation_window(Preset::Quick);
         let adaptive = rows.iter().find(|r| r.window.contains("adaptive")).unwrap();
         let misplaced = rows.iter().find(|r| r.window.contains("mis-placed")).unwrap();
-        assert!(misplaced.rmse > 5.0 * adaptive.rmse, "adaptive {} misplaced {}", adaptive.rmse, misplaced.rmse);
+        assert!(
+            misplaced.rmse > 5.0 * adaptive.rmse,
+            "adaptive {} misplaced {}",
+            adaptive.rmse,
+            misplaced.rmse
+        );
         assert!(misplaced.out_of_window > adaptive.out_of_window);
         assert!(!ablation_window_table(&rows).is_empty());
     }
@@ -303,7 +322,14 @@ mod tests {
         let rows = ablation_mantissa(Preset::Quick);
         assert_eq!(rows.len(), 4);
         for pair in rows.windows(2) {
-            assert!(pair[1].rmse <= pair[0].rmse * 1.05, "{} bits {} vs {} bits {}", pair[0].bits, pair[0].rmse, pair[1].bits, pair[1].rmse);
+            assert!(
+                pair[1].rmse <= pair[0].rmse * 1.05,
+                "{} bits {} vs {} bits {}",
+                pair[0].bits,
+                pair[0].rmse,
+                pair[1].bits,
+                pair[1].rmse
+            );
             assert_eq!(pair[1].sweep_cycles, pair[0].sweep_cycles * 2);
         }
         assert!(!ablation_mantissa_table(&rows).is_empty());

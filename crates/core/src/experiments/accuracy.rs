@@ -224,9 +224,18 @@ pub fn fig06_accuracy_sweep(preset: Preset, model: ModelId) -> Vec<AccuracyRow> 
     for sr in ranges {
         let backend = approximator_backend(
             "PWL",
-            Box::new(PiecewiseLinear::new(NonlinearOp::Softmax, PwlConfig { segments: 22, segment_range: sr })),
-            Box::new(PiecewiseLinear::new(NonlinearOp::Silu, PwlConfig { segments: 22, segment_range: sr })),
-            Box::new(PiecewiseLinear::new(NonlinearOp::Gelu, PwlConfig { segments: 22, segment_range: sr })),
+            Box::new(PiecewiseLinear::new(
+                NonlinearOp::Softmax,
+                PwlConfig { segments: 22, segment_range: sr },
+            )),
+            Box::new(PiecewiseLinear::new(
+                NonlinearOp::Silu,
+                PwlConfig { segments: 22, segment_range: sr },
+            )),
+            Box::new(PiecewiseLinear::new(
+                NonlinearOp::Gelu,
+                PwlConfig { segments: 22, segment_range: sr },
+            )),
         );
         rows.push(AccuracyRow {
             model,
@@ -339,11 +348,7 @@ pub fn fig07_table(trace: &TuningTrace) -> TextTable {
         &["layer", "chosen anchor", "proxy PPL"],
     );
     for l in &trace.layers {
-        t.add_row(vec![
-            l.layer.to_string(),
-            l.anchor.to_string(),
-            format!("{:.4}", l.quality),
-        ]);
+        t.add_row(vec![l.layer.to_string(), l.anchor.to_string(), format!("{:.4}", l.quality)]);
     }
     t
 }
@@ -413,7 +418,13 @@ pub fn fig08_relative_error(preset: Preset) -> Vec<RelativeErrorRow> {
         let vlp = VlpNonlinear::new(op, VlpApproxConfig::recommended_for(op));
         add("VLP", vlp.apply(&inputs).0);
         // PWL.
-        let pwl = PiecewiseLinear::new(op, PwlConfig { segments: 22, segment_range: if op == NonlinearOp::Exp { 16.0 } else { 8.0 } });
+        let pwl = PiecewiseLinear::new(
+            op,
+            PwlConfig {
+                segments: 22,
+                segment_range: if op == NonlinearOp::Exp { 16.0 } else { 8.0 },
+            },
+        );
         add("PWL", pwl.eval_slice(&inputs));
         // Taylor (only softmax/exp in the paper's Figure 8, but we report all).
         let taylor_cfg = if op == NonlinearOp::Exp {

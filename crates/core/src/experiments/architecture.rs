@@ -106,7 +106,9 @@ fn geo_nonlinear(cfg: &DesignConfig, element_counts: &[u64]) -> NonlinearPerform
         throughput_elements_per_s: geometric_mean(
             &perfs.iter().map(|p| p.throughput_elements_per_s).collect::<Vec<_>>(),
         ),
-        elements_per_uj: geometric_mean(&perfs.iter().map(|p| p.elements_per_uj).collect::<Vec<_>>()),
+        elements_per_uj: geometric_mean(
+            &perfs.iter().map(|p| p.elements_per_uj).collect::<Vec<_>>(),
+        ),
         elements_per_s_per_w: geometric_mean(
             &perfs.iter().map(|p| p.elements_per_s_per_w).collect::<Vec<_>>(),
         ),
@@ -194,10 +196,9 @@ pub fn fig12_gemm_comparison(preset: Preset) -> Vec<GemmComparisonRow> {
                 let perf = PerfModel::new(design.clone());
                 let node = perf.run_trace(&trace);
                 let (cycles, energy) = match category {
-                    "Attention" => (
-                        node.cycle_breakdown.attention,
-                        node.energy_breakdown.attention,
-                    ),
+                    "Attention" => {
+                        (node.cycle_breakdown.attention, node.energy_breakdown.attention)
+                    }
                     _ => (
                         node.cycle_breakdown.projection + node.cycle_breakdown.ffn,
                         node.energy_breakdown.projection + node.energy_breakdown.ffn,
@@ -294,9 +295,19 @@ pub fn table3_end_to_end(preset: Preset) -> Vec<EndToEndRow> {
     if preset == Preset::Full {
         for dim in [64usize] {
             push("SN-S", format!("SA ({dim})"), DesignConfig::systolic(dim), NocConfig::single());
-            push("SN-S", format!("SA-F ({dim})"), DesignConfig::systolic_figna(dim), NocConfig::single());
+            push(
+                "SN-S",
+                format!("SA-F ({dim})"),
+                DesignConfig::systolic_figna(dim),
+                NocConfig::single(),
+            );
             push("SN-S", format!("SD ({dim})"), DesignConfig::simd(dim), NocConfig::single());
-            push("SN-S", format!("SD-F ({dim})"), DesignConfig::simd_figna(dim), NocConfig::single());
+            push(
+                "SN-S",
+                format!("SD-F ({dim})"),
+                DesignConfig::simd_figna(dim),
+                NocConfig::single(),
+            );
         }
     }
     push("SN-S", "Tensor".to_string(), DesignConfig::tensor_core(), NocConfig::single());
@@ -309,7 +320,12 @@ pub fn table3_end_to_end(preset: Preset) -> Vec<EndToEndRow> {
         push("NoC", "4x4 SA-F (16)".to_string(), DesignConfig::systolic_figna(16), mesh);
         push("NoC", "4x4 SD (16)".to_string(), DesignConfig::simd(16), mesh);
         push("NoC", "4x4 SD-F (16)".to_string(), DesignConfig::simd_figna(16), mesh);
-        push("NoC", "2x1 Tensor".to_string(), DesignConfig::tensor_core(), NocConfig { rows: 2, cols: 1 });
+        push(
+            "NoC",
+            "2x1 Tensor".to_string(),
+            DesignConfig::tensor_core(),
+            NocConfig { rows: 2, cols: 1 },
+        );
     }
     rows
 }
@@ -554,7 +570,12 @@ pub fn fig16_table(rows: &[LatencyBreakdownRow]) -> TextTable {
 }
 
 /// Convenience: end-to-end workload performance of one design on one model.
-pub fn evaluate_design(cfg: DesignConfig, model: ModelId, batch: usize, seq: usize) -> WorkloadPerformance {
+pub fn evaluate_design(
+    cfg: DesignConfig,
+    model: ModelId,
+    batch: usize,
+    seq: usize,
+) -> WorkloadPerformance {
     PerfModel::new(Design::new(cfg)).evaluate(&decode_trace(model, batch, seq))
 }
 
@@ -575,10 +596,8 @@ mod tests {
         assert!(!rows.is_empty());
         // Mugi (128) softmax throughput gain over VA-FP should be large
         // (paper: ~45x) and constant across sequence lengths.
-        let mugi_sm: Vec<&NonlinearComparisonRow> = rows
-            .iter()
-            .filter(|r| r.design == "Mugi (128)" && r.op == "SM")
-            .collect();
+        let mugi_sm: Vec<&NonlinearComparisonRow> =
+            rows.iter().filter(|r| r.design == "Mugi (128)" && r.op == "SM").collect();
         assert!(mugi_sm.iter().all(|r| r.norm_throughput > 20.0));
         let first = mugi_sm[0].norm_throughput;
         assert!(mugi_sm.iter().all(|r| (r.norm_throughput - first).abs() / first < 0.2));
@@ -662,10 +681,7 @@ mod tests {
         let mugi = rows.iter().find(|r| r.design == "Mugi (256)").unwrap();
         // Mugi's own total is 1.0 by normalisation.
         assert!((mugi.normalized.total() - 1.0).abs() < 1e-6);
-        let sa = rows
-            .iter()
-            .find(|r| r.design == "SA (16)" && r.model == mugi.model)
-            .unwrap();
+        let sa = rows.iter().find(|r| r.design == "SA (16)" && r.model == mugi.model).unwrap();
         assert!(sa.normalized.total() > 1.4, "SA total {}", sa.normalized.total());
         // Mugi's nonlinear share is tiny.
         assert!(mugi.normalized.nonlinear < 0.05);

@@ -165,7 +165,9 @@ pub fn fig17_noc_scaling(preset: Preset) -> Vec<NocScalingRow> {
             });
         }
         // Tensor-core scale-out points (single node, 2x1, 2x2 in the paper).
-        for tc_noc in [NocConfig::single(), NocConfig { rows: 2, cols: 1 }, NocConfig { rows: 2, cols: 2 }] {
+        for tc_noc in
+            [NocConfig::single(), NocConfig { rows: 2, cols: 1 }, NocConfig { rows: 2, cols: 2 }]
+        {
             let m = metric(&DesignConfig::tensor_core(), tc_noc);
             rows.push(NocScalingRow {
                 design: format!("Tensor ({})", tc_noc.label()),

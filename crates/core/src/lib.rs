@@ -192,12 +192,8 @@ mod tests {
     fn throughput_estimates_scale_with_noc() {
         let accel = MugiAccelerator::new(256);
         let single = accel.estimate_llm_throughput(ModelId::Llama2_70b, 8, 2048);
-        let mesh = accel.estimate_llm_throughput_noc(
-            ModelId::Llama2_70b,
-            8,
-            2048,
-            NocConfig::mesh_4x4(),
-        );
+        let mesh =
+            accel.estimate_llm_throughput_noc(ModelId::Llama2_70b, 8, 2048, NocConfig::mesh_4x4());
         assert!(mesh.tokens_per_second > single.tokens_per_second * 10.0);
     }
 

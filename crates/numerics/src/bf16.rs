@@ -195,17 +195,15 @@ impl Bf16 {
 
     /// Total ordering usable for max-reduction (NaN sorts lowest).
     pub fn total_cmp(self, other: Self) -> Ordering {
-        self.to_f32()
-            .partial_cmp(&other.to_f32())
-            .unwrap_or_else(|| {
-                if self.is_nan() && other.is_nan() {
-                    Ordering::Equal
-                } else if self.is_nan() {
-                    Ordering::Less
-                } else {
-                    Ordering::Greater
-                }
-            })
+        self.to_f32().partial_cmp(&other.to_f32()).unwrap_or_else(|| {
+            if self.is_nan() && other.is_nan() {
+                Ordering::Equal
+            } else if self.is_nan() {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }
+        })
     }
 }
 

@@ -6,11 +6,7 @@
 /// Panics if the slices have different lengths.
 pub fn max_abs_error(reference: &[f32], approx: &[f32]) -> f32 {
     assert_eq!(reference.len(), approx.len(), "length mismatch");
-    reference
-        .iter()
-        .zip(approx)
-        .map(|(r, a)| (r - a).abs())
-        .fold(0.0, f32::max)
+    reference.iter().zip(approx).map(|(r, a)| (r - a).abs()).fold(0.0, f32::max)
 }
 
 /// Mean absolute error between two slices.
@@ -20,11 +16,7 @@ pub fn max_abs_error(reference: &[f32], approx: &[f32]) -> f32 {
 pub fn mean_abs_error(reference: &[f32], approx: &[f32]) -> f32 {
     assert_eq!(reference.len(), approx.len(), "length mismatch");
     assert!(!reference.is_empty(), "empty input");
-    let sum: f64 = reference
-        .iter()
-        .zip(approx)
-        .map(|(r, a)| (r - a).abs() as f64)
-        .sum();
+    let sum: f64 = reference.iter().zip(approx).map(|(r, a)| (r - a).abs() as f64).sum();
     (sum / reference.len() as f64) as f32
 }
 
@@ -35,11 +27,7 @@ pub fn mean_abs_error(reference: &[f32], approx: &[f32]) -> f32 {
 pub fn rmse(reference: &[f32], approx: &[f32]) -> f32 {
     assert_eq!(reference.len(), approx.len(), "length mismatch");
     assert!(!reference.is_empty(), "empty input");
-    let sum: f64 = reference
-        .iter()
-        .zip(approx)
-        .map(|(r, a)| ((r - a) as f64).powi(2))
-        .sum();
+    let sum: f64 = reference.iter().zip(approx).map(|(r, a)| ((r - a) as f64).powi(2)).sum();
     ((sum / reference.len() as f64).sqrt()) as f32
 }
 

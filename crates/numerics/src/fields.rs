@@ -191,20 +191,14 @@ mod tests {
             let f = FloatFields::split_f32(v, 3);
             let r = f.reconstruct();
             // 3-bit mantissa: relative error at most 2^-4 plus BF16 error.
-            assert!(
-                ((r - v) / v).abs() <= 0.07,
-                "value {v} reconstructed as {r}"
-            );
+            assert!(((r - v) / v).abs() <= 0.07, "value {v} reconstructed as {r}");
         }
     }
 
     #[test]
     fn zero_and_specials() {
         assert!(FloatFields::split_f32(0.0, 3).is_zero);
-        assert_eq!(
-            FloatFields::split_f32(f32::INFINITY, 3).special,
-            Some(Special::Infinity)
-        );
+        assert_eq!(FloatFields::split_f32(f32::INFINITY, 3).special, Some(Special::Infinity));
         assert_eq!(FloatFields::split_f32(f32::NAN, 3).special, Some(Special::Nan));
         assert!(FloatFields::split_f32(f32::NAN, 3).reconstruct().is_nan());
         assert_eq!(FloatFields::split_f32(f32::NEG_INFINITY, 3).reconstruct(), f32::NEG_INFINITY);

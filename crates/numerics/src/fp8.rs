@@ -174,11 +174,7 @@ impl Fp8 {
         let m = self.mantissa() as f32 / (1u32 << m_bits) as f32;
         let exp_max = (1 << self.format.exponent_bits()) - 1;
         if self.format == Fp8Format::E5M2 && e == exp_max {
-            return if self.mantissa() == 0 {
-                sign * f32::INFINITY
-            } else {
-                f32::NAN
-            };
+            return if self.mantissa() == 0 { sign * f32::INFINITY } else { f32::NAN };
         }
         if self.format == Fp8Format::E4M3 && e == exp_max && self.mantissa() == 0b111 {
             return f32::NAN;
@@ -248,10 +244,7 @@ mod tests {
         for &v in &[0.1f32, 0.3, 0.7, 1.1, 2.3, 5.7, 13.3, 100.0] {
             let x = Fp8::from_f32(v, Fp8Format::E4M3).to_f32();
             // E4M3 has 3 mantissa bits -> relative error bounded by 2^-4 = 6.25%.
-            assert!(
-                (x - v).abs() / v <= 0.0625 + 1e-6,
-                "value {v} quantized to {x}"
-            );
+            assert!((x - v).abs() / v <= 0.0625 + 1e-6, "value {v} quantized to {x}");
         }
     }
 

@@ -126,11 +126,7 @@ pub fn pack(values: &[Int4]) -> Vec<u8> {
 /// Unpacks bytes produced by [`pack`]; `len` is the number of values to
 /// recover (to distinguish an odd tail from a packed zero).
 pub fn unpack(bytes: &[u8], len: usize) -> Vec<Int4> {
-    assert!(
-        len <= bytes.len() * 2,
-        "requested {len} values from {} bytes",
-        bytes.len()
-    );
+    assert!(len <= bytes.len() * 2, "requested {len} values from {} bytes", bytes.len());
     let mut out = Vec::with_capacity(len);
     for (i, &b) in bytes.iter().enumerate() {
         if out.len() < len {

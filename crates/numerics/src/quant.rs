@@ -34,10 +34,7 @@ pub struct QuantGroup {
 impl QuantGroup {
     /// Dequantizes the group back to `f32`.
     pub fn dequantize(&self) -> Vec<f32> {
-        self.values
-            .iter()
-            .map(|q| self.scale * q.to_f32() + self.zero_point)
-            .collect()
+        self.values.iter().map(|q| self.scale * q.to_f32() + self.zero_point).collect()
     }
 }
 
@@ -66,13 +63,7 @@ impl QuantizedMatrix {
                 groups.push(quantize_group(chunk, scheme));
             }
         }
-        QuantizedMatrix {
-            rows: matrix.rows(),
-            cols: matrix.cols(),
-            group_size,
-            scheme,
-            groups,
-        }
+        QuantizedMatrix { rows: matrix.rows(), cols: matrix.cols(), group_size, scheme, groups }
     }
 
     /// Number of rows of the original matrix.
@@ -128,20 +119,14 @@ fn quantize_group(values: &[f32], scheme: QuantScheme) -> QuantGroup {
             let max_abs = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
             let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 7.0 };
             let scale = Bf16::from_f32(scale).to_f32();
-            let q = values
-                .iter()
-                .map(|&v| Int4::from_f32_saturating(v / scale))
-                .collect();
+            let q = values.iter().map(|&v| Int4::from_f32_saturating(v / scale)).collect();
             QuantGroup { values: q, scale, zero_point: 0.0 }
         }
         QuantScheme::Asymmetric => {
             let min = values.iter().cloned().fold(f32::INFINITY, f32::min);
             let max = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let (min, max) = if min.is_finite() && max.is_finite() {
-                (min, max)
-            } else {
-                (0.0, 0.0)
-            };
+            let (min, max) =
+                if min.is_finite() && max.is_finite() { (min, max) } else { (0.0, 0.0) };
             let range = (max - min).max(f32::MIN_POSITIVE);
             let scale = Bf16::from_f32(range / 15.0).to_f32();
             // q in [-8, 7]; x = scale*q + zero_point with zero_point chosen so

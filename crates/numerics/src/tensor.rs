@@ -114,11 +114,7 @@ impl Matrix {
 
     /// Applies a function element-wise, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Element-wise addition.
@@ -185,9 +181,7 @@ impl Matrix {
     /// Panics if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(v.len(), self.cols, "vector length must equal matrix cols");
-        (0..self.rows)
-            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// Frobenius norm.
@@ -201,11 +195,7 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 }
 

@@ -10,11 +10,7 @@ use mugi_numerics::tensor::{pseudo_random_matrix, Matrix};
 use proptest::prelude::*;
 
 fn finite_f32() -> impl Strategy<Value = f32> {
-    prop_oneof![
-        -1e4f32..1e4f32,
-        -1.0f32..1.0f32,
-        -1e-3f32..1e-3f32,
-    ]
+    prop_oneof![-1e4f32..1e4f32, -1.0f32..1.0f32, -1e-3f32..1e-3f32,]
 }
 
 proptest! {

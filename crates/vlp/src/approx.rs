@@ -328,17 +328,12 @@ impl VlpNonlinear {
     pub fn apply(&self, inputs: &[f32]) -> (Vec<f32>, ApproxStats) {
         let config = *self.lut.config();
         let mut outputs = Vec::with_capacity(inputs.len());
-        let mut stats = ApproxStats {
-            elements: inputs.len(),
-            ..ApproxStats::default()
-        };
+        let mut stats = ApproxStats { elements: inputs.len(), ..ApproxStats::default() };
         let mantissa_sweep = sweep_cycles(config.mantissa_bits as u32);
         let exponent_sweep = config.window_size as u64;
         for mapping in inputs.chunks(self.array_rows.max(1)) {
-            let fields: Vec<FloatFields> = mapping
-                .iter()
-                .map(|&x| FloatFields::split_f32(x, config.mantissa_bits))
-                .collect();
+            let fields: Vec<FloatFields> =
+                mapping.iter().map(|&x| FloatFields::split_f32(x, config.mantissa_bits)).collect();
             let exponents: Vec<i32> = fields
                 .iter()
                 .filter(|f| !f.is_zero && f.special.is_none())
@@ -525,10 +520,8 @@ mod tests {
 
     #[test]
     fn exp_approximation_is_accurate_in_window() {
-        let engine = VlpNonlinear::new(
-            NonlinearOp::Exp,
-            VlpApproxConfig::recommended_for(NonlinearOp::Exp),
-        );
+        let engine =
+            VlpNonlinear::new(NonlinearOp::Exp, VlpApproxConfig::recommended_for(NonlinearOp::Exp));
         // Typical softmax inputs after max subtraction: [-8, 0].
         let inputs: Vec<f32> = (0..200).map(|i| -8.0 * i as f32 / 200.0).collect();
         let (approx, stats) = engine.apply(&inputs);
@@ -550,10 +543,7 @@ mod tests {
                 .iter()
                 .map(|&x| if op == NonlinearOp::Silu { silu(x) } else { gelu_erf(x) })
                 .collect();
-            assert!(
-                max_abs_error(&exact, &approx) < 0.35,
-                "op {op:?} error too large"
-            );
+            assert!(max_abs_error(&exact, &approx) < 0.35, "op {op:?} error too large");
         }
     }
 
@@ -571,11 +561,7 @@ mod tests {
         assert!(max_abs_error(&exact, &probs) < 0.05);
         // The argmax is preserved.
         let argmax = |v: &[f32]| {
-            v.iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .unwrap()
-                .0
+            v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
         };
         assert_eq!(argmax(&probs), argmax(&exact));
     }

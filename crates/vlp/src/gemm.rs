@@ -47,12 +47,7 @@ pub struct VlpGemmConfig {
 impl VlpGemmConfig {
     /// The Mugi configuration from Table 2: `height`×8 array, INT4 rows.
     pub fn mugi(height: usize) -> Self {
-        VlpGemmConfig {
-            height,
-            width: 8,
-            magnitude_bits: 3,
-            mapping: MappingKind::MugiWeightRows,
-        }
+        VlpGemmConfig { height, width: 8, magnitude_bits: 3, mapping: MappingKind::MugiWeightRows }
     }
 
     /// The Carat configuration from Table 2 (FP8 activations on rows).
@@ -104,10 +99,7 @@ impl VlpGemm {
     /// in `1..=7`.
     pub fn new(config: VlpGemmConfig) -> Self {
         assert!(config.height > 0 && config.width > 0, "array dimensions must be non-zero");
-        assert!(
-            (1..=7).contains(&config.magnitude_bits),
-            "magnitude_bits must be in 1..=7"
-        );
+        assert!((1..=7).contains(&config.magnitude_bits), "magnitude_bits must be in 1..=7");
         VlpGemm { config }
     }
 
@@ -297,6 +289,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "array dimensions must be non-zero")]
     fn zero_array_rejected() {
-        VlpGemm::new(VlpGemmConfig { height: 0, width: 8, magnitude_bits: 3, mapping: MappingKind::MugiWeightRows });
+        VlpGemm::new(VlpGemmConfig {
+            height: 0,
+            width: 8,
+            magnitude_bits: 3,
+            mapping: MappingKind::MugiWeightRows,
+        });
     }
 }

@@ -97,11 +97,7 @@ pub fn signed_scalar_vector_multiply(
 /// broadcast operands (one per array column). Output is row-major
 /// `column.len() × row.len()`. This is one K-step of an output-stationary
 /// VLP GEMM.
-pub fn outer_product(
-    column: &[i32],
-    row: &[f32],
-    magnitude_bits: u32,
-) -> (Vec<f32>, ReuseStats) {
+pub fn outer_product(column: &[i32], row: &[f32], magnitude_bits: u32) -> (Vec<f32>, ReuseStats) {
     let mut out = vec![0.0f32; column.len() * row.len()];
     let mut total = ReuseStats::default();
     // Each array column has its own accumulator fed by its broadcast operand;
@@ -169,8 +165,18 @@ mod tests {
 
     #[test]
     fn stats_merge_adds_fields() {
-        let a = ReuseStats { cycles: 8, accumulations: 8, subscriptions: 4, multiplications_avoided: 4 };
-        let b = ReuseStats { cycles: 8, accumulations: 8, subscriptions: 2, multiplications_avoided: 2 };
+        let a = ReuseStats {
+            cycles: 8,
+            accumulations: 8,
+            subscriptions: 4,
+            multiplications_avoided: 4,
+        };
+        let b = ReuseStats {
+            cycles: 8,
+            accumulations: 8,
+            subscriptions: 2,
+            multiplications_avoided: 2,
+        };
         let m = a.merge(&b);
         assert_eq!(m.cycles, 16);
         assert_eq!(m.subscriptions, 6);

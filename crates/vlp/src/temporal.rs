@@ -91,11 +91,7 @@ impl TemporalConverter {
     /// # Panics
     /// Panics if `value` does not fit in the sweep.
     pub fn load(&mut self, value: u32) {
-        assert!(
-            value < self.sweep_length(),
-            "value {value} does not fit in {} bits",
-            self.bits
-        );
+        assert!(value < self.sweep_length(), "value {value} does not fit in {} bits", self.bits);
         self.loaded = Some(value);
         self.fired = false;
     }

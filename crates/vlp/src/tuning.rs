@@ -107,11 +107,7 @@ mod tests {
         // quality is the summed squared distance from the ideal.
         let ideal = |l: usize| -(l as i32);
         let oracle = |anchors: &[WindowAnchor]| -> f32 {
-            anchors
-                .iter()
-                .enumerate()
-                .map(|(l, &a)| ((a - ideal(l)) as f32).powi(2))
-                .sum()
+            anchors.iter().enumerate().map(|(l, &a)| ((a - ideal(l)) as f32).powi(2)).sum()
         };
         let candidates: Vec<i32> = (-5..=1).collect();
         let trace = tune_layers(4, &candidates, 0, oracle);

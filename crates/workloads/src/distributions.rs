@@ -160,10 +160,7 @@ impl ProfileHistogram {
         let n = samples.len() as f32;
         let value_edges = (0..=bins).map(|i| min + span * i as f32 / bins as f32).collect();
         let value_density = value_counts.iter().map(|&c| c as f32 / n).collect();
-        let exponent_density = exp_counts
-            .into_iter()
-            .map(|(e, c)| (e, c as f32 / n))
-            .collect();
+        let exponent_density = exp_counts.into_iter().map(|(e, c)| (e, c as f32 / n)).collect();
         ProfileHistogram {
             value_edges,
             value_density,
@@ -200,7 +197,13 @@ impl ProfileHistogram {
 
 /// Profiles one (model, op, layer-depth) combination: draws samples and builds
 /// the Figure-4-style histogram.
-pub fn profile(model: ModelId, op: NonlinearOp, depth: f32, samples: usize, seed: u64) -> ProfileHistogram {
+pub fn profile(
+    model: ModelId,
+    op: NonlinearOp,
+    depth: f32,
+    samples: usize,
+    seed: u64,
+) -> ProfileHistogram {
     let dist = DistributionProfile::for_model(model, op, depth);
     let data = dist.sample(samples, seed);
     ProfileHistogram::from_samples(&data, 64)
@@ -229,10 +232,13 @@ mod tests {
 
     #[test]
     fn llama_drifts_more_than_vision_models_with_depth() {
-        let llama_late = DistributionProfile::for_model(ModelId::Llama2_7b, NonlinearOp::Softmax, 1.0);
-        let swin_late = DistributionProfile::for_model(ModelId::Swinv2Large, NonlinearOp::Softmax, 1.0);
+        let llama_late =
+            DistributionProfile::for_model(ModelId::Llama2_7b, NonlinearOp::Softmax, 1.0);
+        let swin_late =
+            DistributionProfile::for_model(ModelId::Swinv2Large, NonlinearOp::Softmax, 1.0);
         assert!(llama_late.mean < swin_late.mean);
-        let llama_early = DistributionProfile::for_model(ModelId::Llama2_7b, NonlinearOp::Softmax, 0.0);
+        let llama_early =
+            DistributionProfile::for_model(ModelId::Llama2_7b, NonlinearOp::Softmax, 0.0);
         assert!(llama_late.mean < llama_early.mean);
     }
 

@@ -14,7 +14,7 @@
 //! * [`distributions`] — synthetic activation-distribution generators that
 //!   substitute the paper's GPU profiling (Figure 4): per-op, per-model,
 //!   per-layer-depth value and exponent histograms;
-//! * [`reference`] — a small pure-Rust transformer used to measure the
+//! * [`mod@reference`] — a small pure-Rust transformer used to measure the
 //!   end-to-end effect of nonlinear approximation (proxy perplexity for
 //!   Figures 6 and 7).
 //!

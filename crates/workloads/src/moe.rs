@@ -37,10 +37,7 @@ impl MoeConfig {
             return Err("num_experts must be non-zero".to_string());
         }
         if self.top_k == 0 || self.top_k > self.num_experts {
-            return Err(format!(
-                "top_k {} must be in 1..={}",
-                self.top_k, self.num_experts
-            ));
+            return Err(format!("top_k {} must be in 1..={}", self.top_k, self.num_experts));
         }
         if self.expert_ffn_dim == 0 {
             return Err("expert_ffn_dim must be non-zero".to_string());
@@ -154,17 +151,11 @@ mod tests {
         let moe = MoeConfig { num_experts: 8, top_k: 2, expert_ffn_dim: cfg.ffn_dim };
         let trace = generate_moe_trace(&cfg, &moe, Phase::Decode, 8, 4096, true, true);
         // Two softmaxes now: attention plus gating.
-        let softmax_count = trace
-            .nonlinears()
-            .iter()
-            .filter(|n| n.op == NonlinearOp::Softmax)
-            .count();
+        let softmax_count =
+            trace.nonlinears().iter().filter(|n| n.op == NonlinearOp::Softmax).count();
         assert_eq!(softmax_count, 2);
         // Gating softmax rows are num_experts wide.
-        assert!(trace
-            .nonlinears()
-            .iter()
-            .any(|n| n.op == NonlinearOp::Softmax && n.row_len == 8));
+        assert!(trace.nonlinears().iter().any(|n| n.op == NonlinearOp::Softmax && n.row_len == 8));
         // Expert FFN GEMMs repeat top_k times (x2 for the gated up projection).
         let ffn = trace.gemms_of_kind(GemmKind::Ffn);
         assert_eq!(ffn.len(), 2);
@@ -198,7 +189,8 @@ mod tests {
         let moe = MoeConfig { num_experts: 8, top_k: 2, expert_ffn_dim: cfg.ffn_dim };
         let params = moe_layer_weight_params(&cfg, &moe);
         // 8 experts x 3 x d x f for the gated FFN.
-        let expected = 8 * 3 * cfg.hidden_dim as u64 * cfg.ffn_dim as u64 + cfg.hidden_dim as u64 * 8;
+        let expected =
+            8 * 3 * cfg.hidden_dim as u64 * cfg.ffn_dim as u64 + cfg.hidden_dim as u64 * 8;
         assert_eq!(params, expected);
     }
 

@@ -132,11 +132,7 @@ impl ReferenceModel {
     /// # Panics
     /// Panics if the hidden dimension is not divisible by the head count.
     pub fn new(config: ReferenceConfig) -> Self {
-        assert_eq!(
-            config.hidden_dim % config.heads,
-            0,
-            "hidden_dim must be divisible by heads"
-        );
+        assert_eq!(config.hidden_dim % config.heads, 0, "hidden_dim must be divisible by heads");
         let d = config.hidden_dim;
         let scale = 1.0 / (d as f32).sqrt();
         let s = config.seed;
@@ -175,11 +171,8 @@ impl ReferenceModel {
     pub fn forward<B: NonlinearBackend>(&self, tokens: &[usize], backend: &B) -> Matrix {
         let d = self.config.hidden_dim;
         let n = tokens.len();
-        let act_op = if self.config.activation_is_silu {
-            NonlinearOp::Silu
-        } else {
-            NonlinearOp::Gelu
-        };
+        let act_op =
+            if self.config.activation_is_silu { NonlinearOp::Silu } else { NonlinearOp::Gelu };
         // Embed.
         let mut hidden = Matrix::from_fn(n, d, |r, c| {
             let token = tokens[r];
@@ -195,9 +188,7 @@ impl ReferenceModel {
             let mut attn_out = Matrix::zeros(n, d);
             for h in 0..self.config.heads {
                 let col0 = h * head_dim;
-                let slice_cols = |m: &Matrix| {
-                    Matrix::from_fn(n, head_dim, |r, c| m[(r, col0 + c)])
-                };
+                let slice_cols = |m: &Matrix| Matrix::from_fn(n, head_dim, |r, c| m[(r, col0 + c)]);
                 let qh = slice_cols(&q);
                 let kh = slice_cols(&k);
                 let vh = slice_cols(&v);
@@ -222,11 +213,8 @@ impl ReferenceModel {
             // --- FFN (gated) ----------------------------------------------
             let up = hidden.matmul(&layer.w_up);
             let gate = hidden.matmul(&layer.w_gate);
-            let activated = Matrix::from_vec(
-                up.rows(),
-                up.cols(),
-                backend.activation(act_op, gate.data()),
-            );
+            let activated =
+                Matrix::from_vec(up.rows(), up.cols(), backend.activation(act_op, gate.data()));
             let ffn = activated.hadamard(&up).matmul(&layer.w_down);
             hidden = rms_norm(&hidden.add(&ffn));
         }

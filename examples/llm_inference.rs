@@ -47,7 +47,10 @@ fn main() {
             format!("{:.2}", perf.area_mm2),
             format!("{:.1}", perf.energy_per_token_uj),
             format!("{:.2}", perf.tokens_per_s_per_w),
-            format!("{:.1}%", 100.0 * node.cycle_breakdown.nonlinear / node.cycle_breakdown.total()),
+            format!(
+                "{:.1}%",
+                100.0 * node.cycle_breakdown.nonlinear / node.cycle_breakdown.total()
+            ),
         ]);
     }
     println!("\n{single}");

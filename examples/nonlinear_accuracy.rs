@@ -25,8 +25,10 @@ fn main() {
     let inputs = dist.sample(20_000, 7);
     let exact: Vec<f32> = inputs.iter().map(|&x| x.exp()).collect();
 
-    let vlp = VlpNonlinear::new(NonlinearOp::Exp, VlpApproxConfig::recommended_for(NonlinearOp::Exp));
-    let pwl = PiecewiseLinear::new(NonlinearOp::Exp, PwlConfig { segments: 22, segment_range: 20.0 });
+    let vlp =
+        VlpNonlinear::new(NonlinearOp::Exp, VlpApproxConfig::recommended_for(NonlinearOp::Exp));
+    let pwl =
+        PiecewiseLinear::new(NonlinearOp::Exp, PwlConfig { segments: 22, segment_range: 20.0 });
     let taylor = TaylorSeries::new(NonlinearOp::Exp, TaylorConfig { degree: 9, center: -1.0 });
 
     let mut table = TextTable::new(

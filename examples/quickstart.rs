@@ -32,11 +32,7 @@ fn main() {
     let logits = vec![1.2, -0.3, 0.8, 2.5, -1.0, 0.0, 0.4, 1.9];
     let (probs, approx_stats) = accel.softmax(&logits);
     let exact = softmax(&logits);
-    let max_err = probs
-        .iter()
-        .zip(&exact)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f32, f32::max);
+    let max_err = probs.iter().zip(&exact).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
     println!(
         "Softmax over {} logits: latency {} cycles, max error vs exact {:.4}",
         logits.len(),

@@ -47,11 +47,7 @@ fn functional_attention_step_matches_reference_within_tolerance() {
     for r in 0..scores.rows() {
         let (probs, _) = accel.softmax(scores.row(r));
         let exact = softmax(scores.row(r));
-        let max_err = probs
-            .iter()
-            .zip(&exact)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max);
+        let max_err = probs.iter().zip(&exact).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
         assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-3);
         assert!(max_err < 0.05, "row {r} max err {max_err}");
     }
@@ -140,7 +136,8 @@ fn facade_matches_perf_model() {
     let via_facade = accel.estimate_llm_throughput(ModelId::Llama2_70b, 8, 4096);
     let via_perf = evaluate_design(DesignConfig::mugi(256), ModelId::Llama2_70b, 8, 4096);
     assert!((via_facade.tokens_per_second - via_perf.tokens_per_second).abs() < 1e-9);
-    let noc = accel.estimate_llm_throughput_noc(ModelId::Llama2_70b, 8, 4096, NocConfig::mesh_4x4());
+    let noc =
+        accel.estimate_llm_throughput_noc(ModelId::Llama2_70b, 8, 4096, NocConfig::mesh_4x4());
     assert!(noc.tokens_per_second > via_facade.tokens_per_second);
 }
 
@@ -149,7 +146,8 @@ fn facade_matches_perf_model() {
 #[test]
 fn carbon_accounting_is_consistent() {
     let carbon = CarbonModel::default_act();
-    let trace = OpTrace::generate(&ModelId::WhisperLarge.config(), Phase::Decode, 8, 1500, true, true);
+    let trace =
+        OpTrace::generate(&ModelId::WhisperLarge.config(), Phase::Decode, 8, 1500, true, true);
     for cfg in [DesignConfig::mugi(128), DesignConfig::systolic(16), DesignConfig::tensor_core()] {
         let perf = PerfModel::new(Design::new(cfg)).evaluate(&trace);
         let fp = footprint_for_tokens(&carbon, &perf, 100_000);

@@ -10,7 +10,9 @@ use mugi::experiments::architecture::{
     fig13_table, fig14_batch_sweep, fig14_table, fig16_latency_breakdown, fig16_table,
     table3_end_to_end, table3_table,
 };
-use mugi::experiments::sustainability::{fig15_carbon, fig15_table, fig17_noc_scaling, fig17_table};
+use mugi::experiments::sustainability::{
+    fig15_carbon, fig15_table, fig17_noc_scaling, fig17_table,
+};
 use mugi::experiments::Preset;
 use mugi_workloads::models::ModelId;
 
@@ -36,8 +38,7 @@ fn fig07_driver_improves_or_keeps_quality() {
 #[test]
 fn fig08_driver_covers_all_ops_and_methods() {
     let rows = fig08_relative_error(Preset::Quick);
-    let methods: std::collections::HashSet<&str> =
-        rows.iter().map(|r| r.method.as_str()).collect();
+    let methods: std::collections::HashSet<&str> = rows.iter().map(|r| r.method.as_str()).collect();
     for m in ["VLP", "PWL", "Taylor", "PA", "DirectLUT"] {
         assert!(methods.contains(m), "missing method {m}");
     }
@@ -81,11 +82,8 @@ fn table3_driver_group_structure() {
     assert!(rows.iter().any(|r| r.group == "NoC"));
     // Areas are positive and the NoC group has the largest areas.
     let max_sn = rows.iter().filter(|r| r.group == "SN").map(|r| r.area_mm2).fold(0.0, f64::max);
-    let min_noc = rows
-        .iter()
-        .filter(|r| r.group == "NoC")
-        .map(|r| r.area_mm2)
-        .fold(f64::INFINITY, f64::min);
+    let min_noc =
+        rows.iter().filter(|r| r.group == "NoC").map(|r| r.area_mm2).fold(f64::INFINITY, f64::min);
     assert!(min_noc > max_sn);
     assert!(table3_table(&rows).render().contains("Table 3"));
 }
@@ -93,12 +91,10 @@ fn table3_driver_group_structure() {
 #[test]
 fn fig13_driver_component_totals_match_design_totals() {
     let rows = fig13_breakdown(Preset::Quick);
-    let mugi_total: f64 = rows
-        .iter()
-        .filter(|r| r.design == "Mugi (256)")
-        .map(|r| r.area_mm2)
-        .sum();
-    let direct = mugi_arch::designs::Design::new(mugi_arch::designs::DesignConfig::mugi(256)).area_mm2();
+    let mugi_total: f64 =
+        rows.iter().filter(|r| r.design == "Mugi (256)").map(|r| r.area_mm2).sum();
+    let direct =
+        mugi_arch::designs::Design::new(mugi_arch::designs::DesignConfig::mugi(256)).area_mm2();
     assert!((mugi_total - direct).abs() / direct < 1e-9);
     assert!(fig13_table(&rows).render().contains("Figure 13"));
 }
@@ -132,14 +128,8 @@ fn fig15_and_fig17_drivers_render() {
 #[test]
 fn fig16_driver_nonlinear_negligible_on_mugi_visible_on_baselines() {
     let rows = fig16_latency_breakdown(Preset::Quick);
-    let mugi = rows
-        .iter()
-        .find(|r| r.design == "Mugi (256)" && !r.gqa)
-        .unwrap();
-    let taylor = rows
-        .iter()
-        .find(|r| r.design == "Taylor VA" && !r.gqa)
-        .unwrap();
+    let mugi = rows.iter().find(|r| r.design == "Mugi (256)" && !r.gqa).unwrap();
+    let taylor = rows.iter().find(|r| r.design == "Taylor VA" && !r.gqa).unwrap();
     assert!(mugi.normalized.nonlinear < 0.05);
     assert!(taylor.normalized.nonlinear > mugi.normalized.nonlinear);
     assert!(fig16_table(&rows).render().contains("Figure 16"));

@@ -1,0 +1,119 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its configuration and
+//! result types but never serializes a value (there is no `serde_json` in the
+//! build environment). This stub keeps those derives compiling by providing
+//! the two traits as markers plus derive macros that implement them; the
+//! public surface matches the subset of `serde 1.x` the workspace uses, so
+//! the real crate can be dropped in without touching any source file.
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Serialize, Deserialize)]
+//! struct Config {
+//!     rows: usize,
+//! }
+//!
+//! fn assert_serialize<T: Serialize>(_: &T) {}
+//! assert_serialize(&Config { rows: 256 });
+//! ```
+
+#![warn(missing_docs)]
+
+// Lets the `::serde::...` paths emitted by the derive macros resolve even
+// inside this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker form of `serde::Serialize`; implemented by `#[derive(Serialize)]`.
+pub trait Serialize {}
+
+/// Marker form of `serde::Deserialize`; implemented by
+/// `#[derive(Deserialize)]`.
+pub trait Deserialize<'de> {}
+
+macro_rules! impl_primitives {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_primitives!(
+    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Plain {
+        a: u32,
+        b: Vec<f32>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Kind {
+        #[allow(dead_code)]
+        One,
+        #[allow(dead_code)]
+        Two(u8),
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Generic<T: Clone> {
+        #[allow(dead_code)]
+        inner: T,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct WithWhere<T>
+    where
+        T: Clone,
+    {
+        #[allow(dead_code)]
+        inner: T,
+    }
+
+    #[derive(Serialize)]
+    struct WithFnBound<F: Fn(u8, u8) -> u8> {
+        #[allow(dead_code)]
+        op: F,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct WithLifetime<'a, T: Clone> {
+        #[allow(dead_code)]
+        inner: &'a T,
+    }
+
+    fn is_serialize<T: Serialize>() {}
+    fn is_deserialize<T: for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_produce_impls() {
+        is_serialize::<Plain>();
+        is_deserialize::<Plain>();
+        is_serialize::<Kind>();
+        is_serialize::<Generic<u8>>();
+        is_deserialize::<Generic<u8>>();
+        is_serialize::<WithWhere<u8>>();
+        is_deserialize::<WithWhere<u8>>();
+        is_serialize::<WithFnBound<fn(u8, u8) -> u8>>();
+        is_serialize::<WithLifetime<'static, u8>>();
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! two derive macros the workspace uses. Each derive parses just enough of the
+//! item — its identifier, generic parameters and `where` clause — to emit a
+//! marker-trait implementation (`impl serde::Serialize for T {}`), which is
+//! all the workspace needs: types derive the traits so that downstream
+//! serialization support can be added later, but nothing serializes values
+//! today.
+//!
+//! The `serde` helper attribute is accepted and ignored.
+
+use proc_macro::{Spacing, TokenStream, TokenTree};
+
+/// Derives the stub [`Serialize`](../serde/trait.Serialize.html) marker trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize", false)
+}
+
+/// Derives the stub [`Deserialize`](../serde/trait.Deserialize.html) marker
+/// trait (for any lifetime `'de`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize", true)
+}
+
+/// Extracts the shape of the derive target and emits
+/// `impl <trait> for <type>` with the generics and `where` clause repeated
+/// verbatim.
+fn marker_impl(input: TokenStream, trait_name: &str, lifetime: bool) -> TokenStream {
+    let item = parse_item(input);
+    let (params, args) = split_generics(&item.generics);
+    let where_clause = if item.where_clause.is_empty() {
+        String::new()
+    } else {
+        format!(" where {}", item.where_clause)
+    };
+    let code = if lifetime {
+        let de_params =
+            if params.is_empty() { "<'de>".to_string() } else { format!("<'de, {params}>") };
+        format!(
+            "#[automatically_derived] impl {de_params} ::serde::{trait_name}<'de> \
+             for {}{args}{where_clause} {{}}",
+            item.ident
+        )
+    } else {
+        let p = if params.is_empty() { String::new() } else { format!("<{params}>") };
+        format!(
+            "#[automatically_derived] impl {p} ::serde::{trait_name} for {}{args}{where_clause} {{}}",
+            item.ident
+        )
+    };
+    code.parse().expect("stub derive generated invalid Rust")
+}
+
+struct Item {
+    ident: String,
+    generics: String,
+    where_clause: String,
+}
+
+/// Parses a `struct`/`enum`/`union` item into name, generic parameter list
+/// and `where` clause source text.
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes, visibility and modifiers until the item keyword.
+    let mut ident = None;
+    for tok in tokens.by_ref() {
+        if let TokenTree::Ident(kw) = &tok {
+            let kw = kw.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                break;
+            }
+        }
+    }
+    if let Some(TokenTree::Ident(name)) = tokens.next() {
+        ident = Some(name.to_string());
+    }
+    let ident = ident.expect("derive target must be a struct, enum or union");
+
+    // Collect the generic parameter list `<...>` if one follows the name. A
+    // `>` only closes the list when it is not the tail of a `->` arrow (the
+    // `-` is a Joint-spaced punct immediately before it).
+    let mut generics = String::new();
+    let mut depth = 0usize;
+    let mut prev_joint_minus = false;
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        depth = 1;
+        for tok in tokens.by_ref() {
+            let arrow_tail = prev_joint_minus;
+            prev_joint_minus = matches!(&tok, TokenTree::Punct(p) if p.as_char() == '-' && p.spacing() == Spacing::Joint);
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' if !arrow_tail => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            push_token(&mut generics, &tok);
+        }
+    }
+
+    // Collect an optional `where` clause: everything up to the item body
+    // (brace group or, for tuple structs, the trailing `;`).
+    let mut where_clause = String::new();
+    if matches!(tokens.peek(), Some(TokenTree::Ident(kw)) if kw.to_string() == "where") {
+        tokens.next();
+        for tok in tokens.by_ref() {
+            match &tok {
+                TokenTree::Group(g) if g.delimiter() == proc_macro::Delimiter::Brace => {
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == ';' => break,
+                _ => {}
+            }
+            push_token(&mut where_clause, &tok);
+        }
+    }
+
+    Item {
+        ident,
+        generics: generics.trim().to_string(),
+        where_clause: where_clause.trim().to_string(),
+    }
+}
+
+/// Appends a token's source text. Joint-spaced puncts (the halves of `->`,
+/// `::`, the `'` of a lifetime) glue to the next token; everything else gets
+/// a trailing space.
+fn push_token(out: &mut String, tok: &TokenTree) {
+    out.push_str(&tok.to_string());
+    match tok {
+        TokenTree::Punct(p) if p.spacing() == Spacing::Joint => {}
+        _ => out.push(' '),
+    }
+}
+
+/// Splits a generics source like `'a , T : Clone` into the parameter list used
+/// on the `impl` (`'a, T: Clone`) and the argument list used on the type
+/// (`<'a, T>`).
+fn split_generics(generics: &str) -> (String, String) {
+    if generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let mut args = Vec::new();
+    for param in split_top_level_commas(generics) {
+        let param = param.trim();
+        // Drop bounds and defaults: `T : Clone = X` -> `T`.
+        let head = param.split(|c| c == ':' || c == '=').next().unwrap_or(param).trim();
+        if head.starts_with("const ") {
+            args.push(head.trim_start_matches("const ").trim().to_string());
+        } else {
+            args.push(head.to_string());
+        }
+    }
+    (generics.to_string(), format!("<{}>", args.join(", ")))
+}
+
+/// Splits on commas that are not nested inside `<...>` bounds or `(...)`
+/// argument lists.
+fn split_top_level_commas(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    let mut prev = ' ';
+    for c in s.chars() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' if prev != '-' => depth -= 1,
+            ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                prev = c;
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+        if !c.is_whitespace() {
+            prev = c;
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
