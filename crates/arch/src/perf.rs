@@ -214,8 +214,11 @@ impl PerfModel {
         let speedup = noc.throughput_multiplier();
         let effective_cycles = node.total_cycles as f64 / speedup;
         let runtime_s = effective_cycles / cost.frequency_hz;
-        // Tokens per step: in decode each forward pass produces `batch` tokens.
-        let tokens_per_step = trace.batch as f64;
+        // Tokens per step: each forward pass produces one token per decode
+        // request of the (possibly mixed) micro-batch; a pure-prefill trace
+        // counts prompts per step instead. For the classic single-slice
+        // decode traces this is exactly `trace.batch`.
+        let tokens_per_step = trace.tokens_per_step() as f64;
         let tokens_per_second = if runtime_s > 0.0 { tokens_per_step / runtime_s } else { 0.0 };
 
         // Energy: dynamic energy is workload-defined (unchanged by the NoC),
@@ -422,6 +425,34 @@ mod tests {
             crate::hbm::Hbm { bandwidth_bytes_per_s: 2.56e9, energy_pj_per_byte: 7.0 },
         );
         assert!(throttled.run_trace(&decode).memory_bound, "throttled HBM should be memory bound");
+    }
+
+    #[test]
+    fn mixed_batch_evaluation_counts_decode_tokens_and_pays_prefill_cycles() {
+        // A continuous-batching micro-batch: 8 decode slots plus one 256-token
+        // prefill chunk. Throughput must be accounted against the 8 decode
+        // tokens only, while the prefill work still costs cycles, so the mixed
+        // step is slower per token than the decode-only step.
+        use mugi_workloads::ops::BatchSlice;
+        let cfg = ModelId::Llama2_7b.config();
+        let model = PerfModel::new(Design::new(DesignConfig::mugi(256)));
+        let decode_only = OpTrace::generate_mixed(&cfg, &[BatchSlice::decode(8, 2048)], true, true);
+        let mixed = OpTrace::generate_mixed(
+            &cfg,
+            &[BatchSlice::decode(8, 2048), BatchSlice::prefill(1, 256)],
+            true,
+            true,
+        );
+        assert_eq!(mixed.tokens_per_step(), 8);
+        let decode_perf = model.evaluate(&decode_only);
+        let mixed_perf = model.evaluate(&mixed);
+        assert!(mixed_perf.node.total_cycles > decode_perf.node.total_cycles);
+        assert!(mixed_perf.tokens_per_second < decode_perf.tokens_per_second);
+        assert!(mixed_perf.tokens_per_second > 0.0);
+        // Pure prefill still reports prompts per second.
+        let prefill = OpTrace::generate(&cfg, Phase::Prefill, 4, 256, true, true);
+        assert_eq!(prefill.tokens_per_step(), 4);
+        assert!(model.evaluate(&prefill).tokens_per_second > 0.0);
     }
 
     #[test]

@@ -1,0 +1,29 @@
+//! `matmul_scaling`: the old naive triple-loop GEMM (kept as the hidden
+//! oracle `matmul_naive`) against the cache/register-blocked kernel behind
+//! `Matrix::matmul_with` at 1, 2 and 4 threads, on the 512×512×512 shape the
+//! acceptance sweep uses. Numbers are recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mugi_numerics::exec::ExecutionContext;
+use mugi_numerics::tensor::{matmul_naive, pseudo_random_matrix};
+use std::hint::black_box;
+
+fn bench_matmul_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_scaling");
+    group.sample_size(10);
+    let a = pseudo_random_matrix(512, 512, 1, 1.0);
+    let b = pseudo_random_matrix(512, 512, 2, 1.0);
+    group.bench_function("naive_512x512x512", |bench| {
+        bench.iter(|| black_box(matmul_naive(black_box(&a), black_box(&b))))
+    });
+    for threads in [1usize, 2, 4] {
+        let ctx = ExecutionContext::with_threads(threads);
+        group.bench_function(BenchmarkId::new("blocked_512x512x512", threads), |bench| {
+            bench.iter(|| black_box(a.matmul_with(black_box(&b), &ctx)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul_scaling);
+criterion_main!(benches);

@@ -48,17 +48,39 @@ pub use mugi_workloads as workloads;
 use mugi_arch::designs::{Design, DesignConfig};
 use mugi_arch::noc::NocConfig;
 use mugi_arch::perf::{PerfModel, WorkloadPerformance};
+use mugi_numerics::exec::ExecutionContext;
 use mugi_numerics::nonlinear::NonlinearOp;
 use mugi_numerics::quant::{weight_only_quantize, QuantizedMatrix};
 use mugi_numerics::tensor::Matrix;
 use mugi_vlp::approx::{ApproxStats, VlpApproxConfig, VlpNonlinear};
 use mugi_vlp::gemm::{GemmStats, VlpGemm, VlpGemmConfig};
 use mugi_workloads::models::ModelId;
-use mugi_workloads::ops::{OpTrace, Phase};
+use mugi_workloads::ops::{BatchSlice, OpTrace};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Key of the per-accelerator operator-trace cache: a micro-batch shape on a
+/// model under fixed quantization flags.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct TraceKey {
+    model: ModelId,
+    slices: Vec<BatchSlice>,
+    woq: bool,
+    kvq: bool,
+}
+
+/// Traces cached per accelerator before the cache is cleared. Micro-batch
+/// shapes recur heavily under continuous batching (decode contexts are
+/// bucketed by the runtime), so a few thousand entries is far more than a
+/// steady state needs; the cap only bounds pathological workloads.
+const TRACE_CACHE_CAP: usize = 4096;
 
 /// A single-node Mugi accelerator: the paper's contribution wrapped in one
 /// object that exposes functional execution (GEMM, nonlinear approximation)
 /// and architectural estimation (throughput, energy, area, carbon).
+///
+/// Clones share the operator-trace cache, so a serving runtime can hand
+/// clones to workers without re-deriving traces.
 #[derive(Clone, Debug)]
 pub struct MugiAccelerator {
     design: DesignConfig,
@@ -66,16 +88,26 @@ pub struct MugiAccelerator {
     softmax_engine: VlpNonlinear,
     silu_engine: VlpNonlinear,
     gelu_engine: VlpNonlinear,
+    trace_cache: Arc<Mutex<HashMap<TraceKey, Arc<OpTrace>>>>,
 }
 
 impl MugiAccelerator {
     /// Creates a Mugi node with the given array height (32–256 in the paper)
-    /// and the recommended VLP approximation windows.
+    /// and the recommended VLP approximation windows, running its software
+    /// kernels single-threaded.
     pub fn new(array_height: usize) -> Self {
+        MugiAccelerator::with_context(array_height, ExecutionContext::default())
+    }
+
+    /// Creates a Mugi node whose software kernels (the functional GEMM path)
+    /// run under `exec`. The context is threaded down to the VLP GEMM engine
+    /// and from there to the blocked matrix kernel; it changes execution
+    /// speed only, never results or modelled statistics.
+    pub fn with_context(array_height: usize, exec: ExecutionContext) -> Self {
         let design = DesignConfig::mugi(array_height);
         MugiAccelerator {
             design,
-            gemm: VlpGemm::new(VlpGemmConfig::mugi(array_height)),
+            gemm: VlpGemm::with_context(VlpGemmConfig::mugi(array_height), exec),
             softmax_engine: VlpNonlinear::with_array_rows(
                 NonlinearOp::Softmax,
                 VlpApproxConfig::recommended_for(NonlinearOp::Softmax),
@@ -91,12 +123,24 @@ impl MugiAccelerator {
                 VlpApproxConfig::recommended_for(NonlinearOp::Gelu),
                 array_height,
             ),
+            trace_cache: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
     /// The architectural configuration of this node.
     pub fn design_config(&self) -> &DesignConfig {
         &self.design
+    }
+
+    /// The execution context the software kernels run under.
+    pub fn execution_context(&self) -> &ExecutionContext {
+        self.gemm.execution_context()
+    }
+
+    /// Clock frequency of this node's cost model in Hz (used by the serving
+    /// runtime to convert simulated cycles to wall-clock time).
+    pub fn frequency_hz(&self) -> f64 {
+        Design::new(self.design).cost_model().frequency_hz
     }
 
     /// Node area in mm² under the default cost model.
@@ -134,20 +178,55 @@ impl MugiAccelerator {
         }
     }
 
+    /// Returns the cached operator trace for a micro-batch shape, generating
+    /// and inserting it on first use. Traces are immutable once built, so
+    /// clones of the accelerator share them through the `Arc`.
+    fn cached_trace(
+        &self,
+        model: ModelId,
+        slices: &[BatchSlice],
+        woq: bool,
+        kvq: bool,
+    ) -> Arc<OpTrace> {
+        let key = TraceKey { model, slices: slices.to_vec(), woq, kvq };
+        if let Some(trace) = self.trace_cache.lock().expect("trace cache poisoned").get(&key) {
+            return Arc::clone(trace);
+        }
+        // Generate outside the lock so concurrent clones estimating other
+        // shapes are not serialized behind this (relatively expensive) call;
+        // a racing miss on the same key just generates the trace twice and
+        // the second insert wins harmlessly.
+        let trace = Arc::new(OpTrace::generate_mixed(&model.config(), slices, woq, kvq));
+        let mut cache = self.trace_cache.lock().expect("trace cache poisoned");
+        if cache.len() >= TRACE_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, Arc::clone(&trace));
+        trace
+    }
+
+    /// Number of operator traces currently cached (shared across clones).
+    pub fn trace_cache_entries(&self) -> usize {
+        self.trace_cache.lock().expect("trace cache poisoned").len()
+    }
+
     /// Estimates decode throughput and efficiency for one of the paper's LLMs
     /// at the given batch size and context length (WOQ + KVQ enabled, as in
-    /// the paper's main configuration).
+    /// the paper's main configuration). The underlying operator trace is
+    /// cached per `(model, batch, seq_len)`, so repeated estimates — e.g. one
+    /// per scheduler step — do not regenerate it.
     pub fn estimate_llm_throughput(
         &self,
         model: ModelId,
         batch: usize,
         seq_len: usize,
     ) -> WorkloadPerformance {
-        let trace = OpTrace::generate(&model.config(), Phase::Decode, batch, seq_len, true, true);
+        let trace = self.cached_trace(model, &[BatchSlice::decode(batch, seq_len)], true, true);
         PerfModel::new(Design::new(self.design)).evaluate(&trace)
     }
 
-    /// Estimates throughput and efficiency on a multi-node NoC.
+    /// Estimates throughput and efficiency on a multi-node NoC (trace cached
+    /// as in [`estimate_llm_throughput`](Self::estimate_llm_throughput)).
     pub fn estimate_llm_throughput_noc(
         &self,
         model: ModelId,
@@ -155,8 +234,25 @@ impl MugiAccelerator {
         seq_len: usize,
         noc: NocConfig,
     ) -> WorkloadPerformance {
-        let trace = OpTrace::generate(&model.config(), Phase::Decode, batch, seq_len, true, true);
+        let trace = self.cached_trace(model, &[BatchSlice::decode(batch, seq_len)], true, true);
         PerfModel::new(Design::new(self.design)).evaluate_noc(&trace, noc)
+    }
+
+    /// Evaluates one continuous-batching micro-batch — an arbitrary
+    /// composition of decode slots and (chunked) prefill slices on `model` —
+    /// under WOQ + KVQ, caching the composed trace by its slice shape. This
+    /// is the entry point the `mugi-runtime` executor drives once per
+    /// scheduler step.
+    ///
+    /// # Panics
+    /// Panics if `slices` is empty or contains a zero dimension.
+    pub fn estimate_micro_batch(
+        &self,
+        model: ModelId,
+        slices: &[BatchSlice],
+    ) -> WorkloadPerformance {
+        let trace = self.cached_trace(model, slices, true, true);
+        PerfModel::new(Design::new(self.design)).evaluate(&trace)
     }
 }
 
@@ -201,5 +297,54 @@ mod tests {
     #[should_panic(expected = "expects SiLU or GELU")]
     fn activation_rejects_softmax() {
         MugiAccelerator::new(64).activation(NonlinearOp::Softmax, &[0.0]);
+    }
+
+    #[test]
+    fn traces_are_cached_per_micro_batch_shape() {
+        let accel = MugiAccelerator::new(128);
+        assert_eq!(accel.trace_cache_entries(), 0);
+        let a = accel.estimate_llm_throughput(ModelId::Llama2_7b, 8, 2048);
+        assert_eq!(accel.trace_cache_entries(), 1);
+        // Same shape again: cache hit, identical result, no new entry.
+        let b = accel.estimate_llm_throughput(ModelId::Llama2_7b, 8, 2048);
+        assert_eq!(accel.trace_cache_entries(), 1);
+        assert_eq!(a, b);
+        // A different shape or model adds entries; clones share the cache.
+        let clone = accel.clone();
+        clone.estimate_llm_throughput(ModelId::Llama2_7b, 8, 4096);
+        clone.estimate_llm_throughput(ModelId::Llama2_13b, 8, 2048);
+        assert_eq!(accel.trace_cache_entries(), 3);
+    }
+
+    #[test]
+    fn micro_batch_estimate_matches_direct_evaluation() {
+        use mugi_workloads::ops::BatchSlice;
+        let accel = MugiAccelerator::new(256);
+        let slices = [BatchSlice::decode(8, 2048), BatchSlice::prefill(1, 128).with_kv_len(256)];
+        let via_accel = accel.estimate_micro_batch(ModelId::Llama2_7b, &slices);
+        let trace = OpTrace::generate_mixed(&ModelId::Llama2_7b.config(), &slices, true, true);
+        let direct = PerfModel::new(Design::new(*accel.design_config())).evaluate(&trace);
+        assert_eq!(via_accel, direct);
+        // Repeating the same micro-batch shape hits the cache.
+        accel.estimate_micro_batch(ModelId::Llama2_7b, &slices);
+        assert_eq!(accel.trace_cache_entries(), 1);
+    }
+
+    #[test]
+    fn execution_context_is_threaded_through_the_gemm_path() {
+        use mugi_numerics::exec::ExecutionContext;
+        let single = MugiAccelerator::new(128);
+        let parallel = MugiAccelerator::with_context(128, ExecutionContext::with_threads(4));
+        assert_eq!(parallel.execution_context().threads(), 4);
+        assert_eq!(single.execution_context().threads(), 1);
+        assert!(parallel.frequency_hz() > 0.0);
+        let activations = pseudo_random_matrix(8, 64, 1, 1.0);
+        let weights = pseudo_random_matrix(32, 64, 2, 0.5);
+        let q = parallel.quantize_weights(&weights);
+        let (a, _) = single.gemm(&activations, &q);
+        let (b, _) = parallel.gemm(&activations, &q);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 }

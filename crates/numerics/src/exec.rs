@@ -1,0 +1,105 @@
+//! Execution context for the software kernels: how many worker threads a
+//! kernel may spawn and which cache-tile size it blocks loops with.
+//!
+//! The context is *threaded through* the execution path rather than read from
+//! a global: the serving runtime builds one per deployment, hands it to
+//! [`MugiAccelerator`](../../mugi/struct.MugiAccelerator.html), which passes it
+//! down to the VLP GEMM engines and finally to
+//! [`Matrix::matmul_with`](crate::tensor::Matrix::matmul_with). Every kernel
+//! driven by a context produces output that is bit-identical to the
+//! single-threaded reference, so the context only changes *how fast* an
+//! answer is computed, never *which* answer.
+
+use serde::{Deserialize, Serialize};
+
+/// Thread count and cache-tile size used by the blocked GEMM kernel.
+///
+/// ```
+/// use mugi_numerics::exec::ExecutionContext;
+/// let ctx = ExecutionContext::with_threads(4);
+/// assert_eq!(ctx.threads(), 4);
+/// assert_eq!(ctx.tile(), ExecutionContext::DEFAULT_TILE);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExecutionContext {
+    threads: usize,
+    tile: usize,
+}
+
+impl ExecutionContext {
+    /// Default cache-tile edge (elements per blocked dimension). 64×64 f32
+    /// tiles (16 KiB for one operand tile) fit comfortably in an L1 data
+    /// cache alongside the accumulator rows.
+    pub const DEFAULT_TILE: usize = 64;
+
+    /// Creates a context with an explicit thread count and tile size.
+    ///
+    /// # Panics
+    /// Panics if `threads` or `tile` is zero.
+    pub fn new(threads: usize, tile: usize) -> Self {
+        assert!(threads > 0, "threads must be non-zero");
+        assert!(tile > 0, "tile must be non-zero");
+        ExecutionContext { threads, tile }
+    }
+
+    /// A single-threaded context with the default tile size. This is what
+    /// [`Matrix::matmul`](crate::tensor::Matrix::matmul) uses implicitly.
+    pub fn single_threaded() -> Self {
+        ExecutionContext::new(1, Self::DEFAULT_TILE)
+    }
+
+    /// A context with `threads` workers and the default tile size.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecutionContext::new(threads, Self::DEFAULT_TILE)
+    }
+
+    /// A context sized to the host: one worker per available hardware thread
+    /// (falling back to one when the parallelism cannot be queried).
+    pub fn host_parallel() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ExecutionContext::with_threads(threads)
+    }
+
+    /// Number of worker threads a kernel may use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Cache-tile edge length used by blocked loops.
+    pub fn tile(&self) -> usize {
+        self.tile
+    }
+}
+
+impl Default for ExecutionContext {
+    fn default() -> Self {
+        ExecutionContext::single_threaded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let ctx = ExecutionContext::new(3, 32);
+        assert_eq!(ctx.threads(), 3);
+        assert_eq!(ctx.tile(), 32);
+        assert_eq!(ExecutionContext::default(), ExecutionContext::single_threaded());
+        assert_eq!(ExecutionContext::with_threads(2).tile(), ExecutionContext::DEFAULT_TILE);
+        assert!(ExecutionContext::host_parallel().threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must be non-zero")]
+    fn zero_threads_rejected() {
+        ExecutionContext::new(0, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile must be non-zero")]
+    fn zero_tile_rejected() {
+        ExecutionContext::new(1, 0);
+    }
+}

@@ -36,6 +36,7 @@
 
 pub mod bf16;
 pub mod error;
+pub mod exec;
 pub mod fields;
 pub mod fp8;
 pub mod int4;
@@ -44,6 +45,7 @@ pub mod quant;
 pub mod tensor;
 
 pub use bf16::Bf16;
+pub use exec::ExecutionContext;
 pub use fields::FloatFields;
 pub use fp8::{Fp8, Fp8Format};
 pub use int4::Int4;

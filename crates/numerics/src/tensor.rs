@@ -1,9 +1,14 @@
-//! A small dense row-major matrix type with reference GEMM/GEMV kernels.
+//! A small dense row-major matrix type with GEMM/GEMV kernels.
 //!
-//! The reference kernels serve as the correctness oracle for the VLP GEMM in
+//! [`Matrix::matmul`] runs a cache- and register-blocked kernel that can be
+//! parallelized across scoped threads via [`Matrix::matmul_with`] and an
+//! [`ExecutionContext`]; its output is bit-identical to the original
+//! triple-loop kernel, which is kept as the hidden [`matmul_naive`] oracle.
+//! These kernels serve as the correctness oracle for the VLP GEMM in
 //! `mugi-vlp` and as the "software implementation" baseline used by the
 //! accuracy experiments.
 
+use crate::exec::ExecutionContext;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -148,29 +153,62 @@ impl Matrix {
         self.map(|x| x * s)
     }
 
-    /// Reference GEMM: `self (m×k) × other (k×n) = (m×n)`.
+    /// GEMM: `self (m×k) × other (k×n) = (m×n)`, computed by the blocked
+    /// kernel with the default (single-threaded) [`ExecutionContext`].
     ///
     /// # Panics
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.matmul_with(other, &ExecutionContext::default())
+    }
+
+    /// GEMM under an explicit [`ExecutionContext`]: a cache-blocked,
+    /// register-blocked kernel that splits the output rows across
+    /// `ctx.threads()` scoped threads.
+    ///
+    /// The result is **bit-identical** to [`matmul_naive`] for every thread
+    /// count and tile size: each output element accumulates its `k` partial
+    /// products in the same ascending-`k` order (with the same skip of exact
+    /// zeros in `self`), and rows are distributed without changing any
+    /// per-element order. Tests assert exact `f32::to_bits` equality.
+    ///
+    /// The worker count is capped at the host's available parallelism (and
+    /// at the row count): oversubscribing cores gains nothing and only adds
+    /// scheduling noise.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul_with(&self, other: &Matrix, ctx: &ExecutionContext) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "inner dimensions must agree: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for kk in 0..self.cols {
-                let a = self[(i, kk)];
-                if a == 0.0 {
-                    continue;
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || n == 0 || k == 0 {
+            return out;
+        }
+        let threads = if ctx.threads() <= 1 {
+            1
+        } else {
+            // Only pay the parallelism query when multi-threading was asked
+            // for; the default single-threaded context skips the syscall.
+            let host = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+            ctx.threads().min(m).min(host)
+        };
+        if threads <= 1 {
+            matmul_rows_blocked(&self.data, &other.data, &mut out.data, 0, k, n, ctx.tile());
+        } else {
+            let rows_per_chunk = m.div_ceil(threads);
+            let (a, b, tile) = (&self.data, &other.data, ctx.tile());
+            std::thread::scope(|scope| {
+                for (chunk, out_chunk) in out.data.chunks_mut(rows_per_chunk * n).enumerate() {
+                    scope.spawn(move || {
+                        matmul_rows_blocked(a, b, out_chunk, chunk * rows_per_chunk, k, n, tile);
+                    });
                 }
-                let row = &other.data[kk * other.cols..(kk + 1) * other.cols];
-                let dst = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (d, &b) in dst.iter_mut().zip(row) {
-                    *d += a * b;
-                }
-            }
+            });
         }
         out
     }
@@ -196,6 +234,149 @@ impl Matrix {
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
         self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
+    }
+}
+
+/// The original triple-loop GEMM, kept verbatim as the correctness and
+/// performance oracle for the blocked kernel (see the `matmul_scaling` bench
+/// and the bit-identity tests). Not part of the supported API surface.
+#[doc(hidden)]
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols, b.rows,
+        "inner dimensions must agree: {}x{} * {}x{}",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    let mut out = Matrix::zeros(a.rows, b.cols);
+    for i in 0..a.rows {
+        for kk in 0..a.cols {
+            let av = a[(i, kk)];
+            if av == 0.0 {
+                continue;
+            }
+            let row = &b.data[kk * b.cols..(kk + 1) * b.cols];
+            let dst = &mut out.data[i * b.cols..(i + 1) * b.cols];
+            for (d, &bv) in dst.iter_mut().zip(row) {
+                *d += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Column width of the register micro-kernel: 16 f32 lanes per row block.
+const JR: usize = 16;
+
+/// Blocked GEMM over a contiguous band of output rows.
+///
+/// `out` holds the rows `row0 .. row0 + out.len() / n` of the full output.
+/// The `k` loop is tiled so one `tile`-row panel of `b` stays cache-resident
+/// while it is applied to the whole band, and the band is walked by a 4×16
+/// register micro-kernel: four output rows times sixteen columns accumulate
+/// in local arrays across the k-tile, so each loaded `b` element feeds four
+/// rows and the output is touched once per k-tile instead of once per `k`
+/// step. For every output element the partial products are still added in
+/// ascending-`k` order (k-tiles ascend, `kk` ascends inside a tile, and the
+/// spill/reload of the f32 accumulators is lossless) with the naive kernel's
+/// exact-zero skip, which keeps the result bit-identical to [`matmul_naive`].
+fn matmul_rows_blocked(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+    tile: usize,
+) {
+    let rows = out.len() / n;
+    let n_main = n - n % JR;
+    let mut dst: Vec<&mut [f32]> = out.chunks_mut(n).collect();
+    for kb in (0..k).step_by(tile) {
+        let k_end = (kb + tile).min(k);
+        let mut r = 0;
+        while r + 4 <= rows {
+            if let [d0, d1, d2, d3] = &mut dst[r..r + 4] {
+                let ar = row0 + r;
+                for jb in (0..n_main).step_by(JR) {
+                    let mut acc0 = [0.0f32; JR];
+                    let mut acc1 = [0.0f32; JR];
+                    let mut acc2 = [0.0f32; JR];
+                    let mut acc3 = [0.0f32; JR];
+                    acc0.copy_from_slice(&d0[jb..jb + JR]);
+                    acc1.copy_from_slice(&d1[jb..jb + JR]);
+                    acc2.copy_from_slice(&d2[jb..jb + JR]);
+                    acc3.copy_from_slice(&d3[jb..jb + JR]);
+                    for kk in kb..k_end {
+                        let bseg: &[f32; JR] =
+                            b[kk * n + jb..kk * n + jb + JR].try_into().expect("JR segment");
+                        let base = ar * k + kk;
+                        let (a0, a1, a2, a3) =
+                            (a[base], a[base + k], a[base + 2 * k], a[base + 3 * k]);
+                        if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+                            for j in 0..JR {
+                                let bv = bseg[j];
+                                acc0[j] += a0 * bv;
+                                acc1[j] += a1 * bv;
+                                acc2[j] += a2 * bv;
+                                acc3[j] += a3 * bv;
+                            }
+                        } else {
+                            for (aq, acc) in
+                                [(a0, &mut acc0), (a1, &mut acc1), (a2, &mut acc2), (a3, &mut acc3)]
+                            {
+                                if aq == 0.0 {
+                                    continue;
+                                }
+                                for j in 0..JR {
+                                    acc[j] += aq * bseg[j];
+                                }
+                            }
+                        }
+                    }
+                    d0[jb..jb + JR].copy_from_slice(&acc0);
+                    d1[jb..jb + JR].copy_from_slice(&acc1);
+                    d2[jb..jb + JR].copy_from_slice(&acc2);
+                    d3[jb..jb + JR].copy_from_slice(&acc3);
+                }
+            }
+            r += 4;
+        }
+        // Leftover rows (band length not a multiple of 4): 1×16 micro-kernel.
+        while r < rows {
+            let ar = row0 + r;
+            for jb in (0..n_main).step_by(JR) {
+                let mut acc = [0.0f32; JR];
+                acc.copy_from_slice(&dst[r][jb..jb + JR]);
+                for kk in kb..k_end {
+                    let av = a[ar * k + kk];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let bseg: &[f32; JR] =
+                        b[kk * n + jb..kk * n + jb + JR].try_into().expect("JR segment");
+                    for j in 0..JR {
+                        acc[j] += av * bseg[j];
+                    }
+                }
+                dst[r][jb..jb + JR].copy_from_slice(&acc);
+            }
+            r += 1;
+        }
+        // Tail columns (n not a multiple of 16): plain guarded row updates.
+        if n_main < n {
+            for (r, row) in dst.iter_mut().enumerate() {
+                let d = &mut row[n_main..];
+                for kk in kb..k_end {
+                    let av = a[(row0 + r) * k + kk];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (x, &bv) in d.iter_mut().zip(&b[kk * n + n_main..(kk + 1) * n]) {
+                        *x += av * bv;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -320,6 +501,45 @@ mod tests {
         assert!(a.data().iter().all(|x| x.abs() <= 3.0));
         let c = pseudo_random_matrix(10, 10, 43, 3.0);
         assert_ne!(a, c);
+    }
+
+    /// Exact bit-level equality between two matrices (stricter than `==`,
+    /// which treats `-0.0 == 0.0`).
+    fn assert_bit_identical(a: &Matrix, b: &Matrix) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "element {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive() {
+        // Odd, non-tile-aligned shapes, including zeros in the activations so
+        // the skip path is exercised.
+        for &(m, k, n) in &[(1, 1, 1), (4, 4, 4), (7, 13, 5), (17, 33, 29), (64, 65, 63)] {
+            let mut a = pseudo_random_matrix(m, k, (m * k) as u64 + 1, 1.0);
+            if m > 2 && k > 2 {
+                a[(1, 2)] = 0.0;
+                a[(m - 1, 0)] = 0.0;
+            }
+            let b = pseudo_random_matrix(k, n, (k * n) as u64 + 2, 1.0);
+            let reference = matmul_naive(&a, &b);
+            for threads in [1, 2, 3, 8] {
+                for tile in [1, 3, 16, 64, 128] {
+                    let got = a.matmul_with(&b, &ExecutionContext::new(threads, tile));
+                    assert_bit_identical(&got, &reference);
+                }
+            }
+            assert_bit_identical(&a.matmul(&b), &reference);
+        }
+    }
+
+    #[test]
+    fn matmul_with_more_threads_than_rows() {
+        let a = pseudo_random_matrix(3, 8, 1, 1.0);
+        let b = pseudo_random_matrix(8, 5, 2, 1.0);
+        let got = a.matmul_with(&b, &ExecutionContext::with_threads(16));
+        assert_bit_identical(&got, &matmul_naive(&a, &b));
     }
 
     #[test]

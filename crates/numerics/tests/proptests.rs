@@ -1,6 +1,7 @@
 //! Property-based tests for the numeric substrate.
 
 use mugi_numerics::bf16::Bf16;
+use mugi_numerics::exec::ExecutionContext;
 use mugi_numerics::fields::FloatFields;
 use mugi_numerics::fp8::{Fp8, Fp8Format};
 use mugi_numerics::int4::{pack, unpack, Int4};
@@ -145,6 +146,28 @@ proptest! {
         let lhs = a.matmul(&b).transpose();
         let rhs = b.transpose().matmul(&a.transpose());
         prop_assert!(lhs.max_abs_diff(&rhs) < 1e-5);
+    }
+
+    #[test]
+    fn blocked_parallel_matmul_is_bit_identical_to_naive(
+        seed in 0u64..500,
+        m in 1usize..24,
+        k in 1usize..32,
+        n in 1usize..24,
+        threads in 1usize..5,
+        tile in 1usize..80,
+    ) {
+        let mut a = pseudo_random_matrix(m, k, seed, 2.0);
+        // Plant exact zeros so the zero-skip path must agree too.
+        if m * k >= 4 {
+            a.data_mut()[(seed as usize) % (m * k)] = 0.0;
+        }
+        let b = pseudo_random_matrix(k, n, seed + 1, 2.0);
+        let reference = mugi_numerics::tensor::matmul_naive(&a, &b);
+        let got = a.matmul_with(&b, &ExecutionContext::new(threads, tile));
+        for (x, y) in got.data().iter().zip(reference.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! # mugi-runtime
+//!
+//! A simulated continuous-batching inference server on top of the Mugi
+//! accelerator model: the serving layer that turns the paper's
+//! accelerator-level wins into end-to-end request throughput.
+//!
+//! The pipeline, bottom to top:
+//!
+//! * [`request`] — [`Request`]s submitted by clients and the [`Session`]s
+//!   that track per-session KV-cache state and latency milestones;
+//! * [`scheduler`] — the continuous-batching [`Scheduler`]: decode-first
+//!   micro-batches under `max_batch`/`token_budget` caps, chunked prefill,
+//!   FCFS or shortest-prefill-first admission, round-robin across models;
+//! * [`executor`] — the [`Executor`] drives a
+//!   [`MugiAccelerator`](mugi::MugiAccelerator) over the scheduled
+//!   micro-batches (composed into mixed prefill/decode operator traces,
+//!   cached per shape) and keeps per-request cycle/energy accounting;
+//! * [`stats`] — TTFT/TPOT/throughput per request plus p50/p95/p99
+//!   aggregates in a [`RuntimeReport`];
+//! * [`workload`] — deterministic synthetic request streams for examples,
+//!   sweeps and tests.
+//!
+//! # Example
+//!
+//! ```
+//! use mugi::MugiAccelerator;
+//! use mugi_runtime::{Executor, Request, Scheduler, SchedulerConfig};
+//! use mugi_workloads::models::ModelId;
+//!
+//! let mut engine = Executor::new(
+//!     MugiAccelerator::new(256),
+//!     Scheduler::new(SchedulerConfig::default()),
+//! );
+//! engine.submit(Request::new(ModelId::Llama2_7b, 128, 8));
+//! engine.submit(Request::new(ModelId::Llama2_70b, 256, 4));
+//! let report = engine.run();
+//! assert_eq!(report.requests.len(), 2);
+//! assert!(report.throughput_tokens_per_s > 0.0);
+//! assert!(report.requests.iter().all(|r| r.ttft_s > 0.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod executor;
+pub mod request;
+pub mod scheduler;
+pub mod stats;
+pub mod workload;
+
+pub use executor::{Executor, ExecutorConfig};
+pub use request::{Request, RequestId, Session, SessionState};
+pub use scheduler::{BatchItem, MicroBatch, Scheduler, SchedulerConfig, SchedulingPolicy};
+pub use stats::{Percentiles, RequestStats, RuntimeReport};
+pub use workload::{synthetic_requests, WorkloadSpec};

@@ -1,0 +1,173 @@
+//! Requests and sessions: the unit of work the serving engine schedules.
+//!
+//! A [`Request`] is what a client submits — a model, a prompt length and a
+//! requested output length. The scheduler wraps each admitted request in a
+//! [`Session`] that tracks its per-session KV-cache state (how much of the
+//! prompt has been prefilled, how many tokens have been generated) and the
+//! latency milestones (first token, completion) the report is built from.
+
+use mugi_workloads::models::ModelId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one request, assigned by the scheduler at submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One inference request: generate `output_tokens` tokens for a
+/// `prompt_tokens`-token prompt on `model`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Request {
+    /// The model the request targets.
+    pub model: ModelId,
+    /// Prompt length in tokens.
+    pub prompt_tokens: usize,
+    /// Requested completion length in tokens (the first one is produced by
+    /// the prefill step, as in every continuous-batching server).
+    pub output_tokens: usize,
+    /// Simulated cycle at which the request arrives; the scheduler will not
+    /// run it earlier.
+    pub arrival_cycle: u64,
+}
+
+impl Request {
+    /// A request arriving at cycle zero.
+    ///
+    /// # Panics
+    /// Panics if `prompt_tokens` or `output_tokens` is zero.
+    pub fn new(model: ModelId, prompt_tokens: usize, output_tokens: usize) -> Self {
+        assert!(prompt_tokens > 0, "prompt_tokens must be non-zero");
+        assert!(output_tokens > 0, "output_tokens must be non-zero");
+        Request { model, prompt_tokens, output_tokens, arrival_cycle: 0 }
+    }
+
+    /// Sets the simulated arrival cycle.
+    pub fn arriving_at(mut self, cycle: u64) -> Self {
+        self.arrival_cycle = cycle;
+        self
+    }
+}
+
+/// Lifecycle phase of a session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SessionState {
+    /// Admitted, prompt not yet (fully) prefilled.
+    Prefilling,
+    /// Prompt prefilled; generating output tokens one decode step at a time.
+    Decoding,
+    /// All requested output tokens generated.
+    Finished,
+}
+
+/// A scheduled request plus its per-session KV-cache and progress state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    /// Identifier assigned at submission (submission order defines FCFS).
+    pub id: RequestId,
+    /// The underlying request.
+    pub request: Request,
+    /// Lifecycle phase.
+    pub state: SessionState,
+    /// Prompt tokens whose KV entries are already cached (chunked prefill
+    /// advances this by one chunk per micro-batch).
+    pub prefilled_tokens: usize,
+    /// Output tokens generated so far (the prefill completion produces the
+    /// first one).
+    pub generated_tokens: usize,
+    /// Cycle at which the first output token became available.
+    pub first_token_cycle: Option<u64>,
+    /// Cycle at which the last output token became available.
+    pub finish_cycle: Option<u64>,
+}
+
+impl Session {
+    /// Wraps a request in a fresh session.
+    pub fn new(id: RequestId, request: Request) -> Self {
+        Session {
+            id,
+            request,
+            state: SessionState::Prefilling,
+            prefilled_tokens: 0,
+            generated_tokens: 0,
+            first_token_cycle: None,
+            finish_cycle: None,
+        }
+    }
+
+    /// KV-cache entries this session currently holds (prefilled prompt plus
+    /// generated tokens).
+    pub fn kv_len(&self) -> usize {
+        self.prefilled_tokens + self.generated_tokens
+    }
+
+    /// Prompt tokens still waiting to be prefilled.
+    pub fn remaining_prefill(&self) -> usize {
+        self.request.prompt_tokens - self.prefilled_tokens
+    }
+
+    /// Whether the session has produced all requested tokens.
+    pub fn is_finished(&self) -> bool {
+        self.state == SessionState::Finished
+    }
+
+    /// Whether the session has schedulable work at `now` (arrived, and either
+    /// still prefilling or still decoding).
+    pub fn is_runnable(&self, now: u64) -> bool {
+        !self.is_finished() && self.request.arrival_cycle <= now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_construction_and_arrival() {
+        let r = Request::new(ModelId::Llama2_7b, 128, 16).arriving_at(500);
+        assert_eq!(r.prompt_tokens, 128);
+        assert_eq!(r.output_tokens, 16);
+        assert_eq!(r.arrival_cycle, 500);
+        assert_eq!(format!("{}", RequestId(3)), "r3");
+    }
+
+    #[test]
+    fn session_progress_accounting() {
+        let mut s = Session::new(RequestId(0), Request::new(ModelId::Llama2_7b, 100, 4));
+        assert_eq!(s.remaining_prefill(), 100);
+        assert_eq!(s.kv_len(), 0);
+        assert!(s.is_runnable(0));
+        s.prefilled_tokens = 60;
+        assert_eq!(s.remaining_prefill(), 40);
+        s.prefilled_tokens = 100;
+        s.generated_tokens = 2;
+        assert_eq!(s.kv_len(), 102);
+        s.state = SessionState::Finished;
+        assert!(s.is_finished());
+        assert!(!s.is_runnable(0));
+    }
+
+    #[test]
+    fn future_arrivals_are_not_runnable() {
+        let s = Session::new(RequestId(1), Request::new(ModelId::Llama2_7b, 8, 1).arriving_at(10));
+        assert!(!s.is_runnable(9));
+        assert!(s.is_runnable(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "prompt_tokens must be non-zero")]
+    fn zero_prompt_rejected() {
+        Request::new(ModelId::Llama2_7b, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "output_tokens must be non-zero")]
+    fn zero_output_rejected() {
+        Request::new(ModelId::Llama2_7b, 1, 0);
+    }
+}

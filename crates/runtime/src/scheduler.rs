@@ -1,0 +1,445 @@
+//! The continuous-batching scheduler: turns a population of sessions into a
+//! stream of micro-batches.
+//!
+//! Each call to [`Scheduler::next_micro_batch`] assembles one micro-batch for
+//! one model under two hard caps — at most `max_batch` requests and at most
+//! `token_budget` tokens — interleaving the two phases the way production
+//! LLM servers do:
+//!
+//! 1. **Decode first.** Every in-flight (decoding) session of the chosen
+//!    model gets a one-token decode slot, so ongoing generations are never
+//!    stalled behind new prompts.
+//! 2. **Prefill with the leftover budget.** Waiting prompts are admitted in
+//!    policy order ([`SchedulingPolicy::Fcfs`] or
+//!    [`SchedulingPolicy::ShortestPrefillFirst`]) as *chunks* of at most
+//!    `prefill_chunk` tokens, so one long prompt cannot monopolise a step
+//!    (chunked prefill).
+//!
+//! When several models have runnable work the scheduler round-robins between
+//! them across micro-batches, which bounds every model's wait by the number
+//! of active models.
+
+use crate::request::{Request, RequestId, Session, SessionState};
+use mugi_workloads::models::ModelId;
+use mugi_workloads::ops::{BatchSlice, Phase};
+use serde::{Deserialize, Serialize};
+
+/// Order in which waiting prompts are admitted to the prefill share of a
+/// micro-batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// First come, first served (submission order).
+    Fcfs,
+    /// Shortest remaining prefill first (ties broken by submission order).
+    /// Lowers mean time-to-first-token for short prompts at the cost of
+    /// delaying long ones while shorter work keeps arriving.
+    ShortestPrefillFirst,
+}
+
+/// Static scheduler configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Maximum requests per micro-batch (decode slots plus prefill chunks).
+    pub max_batch: usize,
+    /// Maximum tokens per micro-batch: each decode slot costs one token, a
+    /// prefill chunk costs its length.
+    pub token_budget: usize,
+    /// Maximum prompt tokens one request may prefill in a single micro-batch.
+    pub prefill_chunk: usize,
+    /// Prefill admission order.
+    pub policy: SchedulingPolicy,
+}
+
+impl SchedulerConfig {
+    /// Validates the caps.
+    ///
+    /// # Panics
+    /// Panics if any cap is zero.
+    fn validate(&self) {
+        assert!(self.max_batch > 0, "max_batch must be non-zero");
+        assert!(self.token_budget > 0, "token_budget must be non-zero");
+        assert!(self.prefill_chunk > 0, "prefill_chunk must be non-zero");
+    }
+}
+
+impl Default for SchedulerConfig {
+    /// Sixteen requests, a 2048-token budget, 512-token prefill chunks, FCFS.
+    fn default() -> Self {
+        SchedulerConfig {
+            max_batch: 16,
+            token_budget: 2048,
+            prefill_chunk: 512,
+            policy: SchedulingPolicy::Fcfs,
+        }
+    }
+}
+
+/// One request's share of a micro-batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchItem {
+    /// The session the work belongs to.
+    pub id: RequestId,
+    /// Prefill chunk or decode slot.
+    pub phase: Phase,
+    /// Tokens this item processes (chunk length for prefill, 1 for decode).
+    pub tokens: usize,
+    /// KV-cache entries the item attends to after this step (cached prefix
+    /// plus the chunk for prefill; current cache length for decode).
+    pub context_len: usize,
+}
+
+/// A scheduled micro-batch: work for one model, one step.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MicroBatch {
+    /// The model every item runs on.
+    pub model: ModelId,
+    /// The scheduled items (decode slots first, then prefill chunks).
+    pub items: Vec<BatchItem>,
+}
+
+impl MicroBatch {
+    /// Total tokens across all items (bounded by the scheduler's budget).
+    pub fn total_tokens(&self) -> usize {
+        self.items.iter().map(|i| i.tokens).sum()
+    }
+
+    /// Number of decode slots.
+    pub fn decode_slots(&self) -> usize {
+        self.items.iter().filter(|i| i.phase == Phase::Decode).count()
+    }
+
+    /// Converts the batch into workload slices for
+    /// [`OpTrace::generate_mixed`](mugi_workloads::ops::OpTrace::generate_mixed).
+    ///
+    /// Decode slots are grouped by their context length rounded up to
+    /// `kv_bucket` (the paged-KV page-granularity view of the cache), which
+    /// keeps the number of distinct slice shapes — and therefore the size of
+    /// the accelerator's trace cache — small. Prefill chunks become one
+    /// slice each, with the attended KV length bucketed the same way.
+    ///
+    /// # Panics
+    /// Panics if `kv_bucket` is zero.
+    pub fn slices(&self, kv_bucket: usize) -> Vec<BatchSlice> {
+        assert!(kv_bucket > 0, "kv_bucket must be non-zero");
+        let bucket = |len: usize| len.div_ceil(kv_bucket).max(1) * kv_bucket;
+        // Group decode slots by bucketed context length, preserving ascending
+        // order so equal batches always produce identical slice lists.
+        let mut decode_buckets: Vec<(usize, usize)> = Vec::new(); // (context, count)
+        for item in self.items.iter().filter(|i| i.phase == Phase::Decode) {
+            let ctx = bucket(item.context_len);
+            match decode_buckets.binary_search_by_key(&ctx, |&(c, _)| c) {
+                Ok(pos) => decode_buckets[pos].1 += 1,
+                Err(pos) => decode_buckets.insert(pos, (ctx, 1)),
+            }
+        }
+        let mut slices: Vec<BatchSlice> =
+            decode_buckets.into_iter().map(|(ctx, count)| BatchSlice::decode(count, ctx)).collect();
+        for item in self.items.iter().filter(|i| i.phase == Phase::Prefill) {
+            slices.push(BatchSlice::prefill(1, item.tokens).with_kv_len(bucket(item.context_len)));
+        }
+        slices
+    }
+}
+
+/// The continuous-batching scheduler.
+#[derive(Clone, Debug)]
+pub struct Scheduler {
+    config: SchedulerConfig,
+    sessions: Vec<Session>,
+    round_robin: usize,
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler.
+    ///
+    /// # Panics
+    /// Panics if any configured cap is zero.
+    pub fn new(config: SchedulerConfig) -> Self {
+        config.validate();
+        Scheduler { config, sessions: Vec::new(), round_robin: 0 }
+    }
+
+    /// The configuration the scheduler runs under.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Submits a request, returning its id. Submission order defines FCFS.
+    pub fn submit(&mut self, request: Request) -> RequestId {
+        let id = RequestId(self.sessions.len() as u64);
+        self.sessions.push(Session::new(id, request));
+        id
+    }
+
+    /// All sessions in submission order.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// Looks up one session.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this scheduler.
+    pub fn session(&self, id: RequestId) -> &Session {
+        &self.sessions[id.0 as usize]
+    }
+
+    /// Whether every submitted session has finished.
+    pub fn all_finished(&self) -> bool {
+        self.sessions.iter().all(Session::is_finished)
+    }
+
+    /// Number of finished sessions.
+    pub fn finished_count(&self) -> usize {
+        self.sessions.iter().filter(|s| s.is_finished()).count()
+    }
+
+    /// Earliest arrival cycle strictly after `now` among unfinished sessions
+    /// (the executor jumps the clock there when nothing is runnable yet).
+    pub fn next_arrival_after(&self, now: u64) -> Option<u64> {
+        self.sessions
+            .iter()
+            .filter(|s| !s.is_finished() && s.request.arrival_cycle > now)
+            .map(|s| s.request.arrival_cycle)
+            .min()
+    }
+
+    /// Assembles the next micro-batch at simulated cycle `now`, or `None`
+    /// when no session has runnable work (all finished, or only future
+    /// arrivals remain).
+    pub fn next_micro_batch(&mut self, now: u64) -> Option<MicroBatch> {
+        // Round-robin over the models that currently have runnable work,
+        // ordered by their oldest runnable session.
+        let mut models: Vec<ModelId> = Vec::new();
+        for s in self.sessions.iter().filter(|s| s.is_runnable(now)) {
+            if !models.contains(&s.request.model) {
+                models.push(s.request.model);
+            }
+        }
+        if models.is_empty() {
+            return None;
+        }
+        let model = models[self.round_robin % models.len()];
+        self.round_robin = self.round_robin.wrapping_add(1);
+
+        let SchedulerConfig { max_batch, token_budget, prefill_chunk, policy } = self.config;
+        let mut items = Vec::new();
+        let mut tokens = 0usize;
+
+        // 1. Decode slots for every in-flight generation, oldest first.
+        for s in self.sessions.iter().filter(|s| {
+            s.is_runnable(now) && s.request.model == model && s.state == SessionState::Decoding
+        }) {
+            if items.len() >= max_batch || tokens >= token_budget {
+                break;
+            }
+            items.push(BatchItem {
+                id: s.id,
+                phase: Phase::Decode,
+                tokens: 1,
+                context_len: s.kv_len(),
+            });
+            tokens += 1;
+        }
+
+        // 2. Prefill chunks with the remaining budget, in policy order.
+        let mut waiting: Vec<&Session> = self
+            .sessions
+            .iter()
+            .filter(|s| {
+                s.is_runnable(now)
+                    && s.request.model == model
+                    && s.state == SessionState::Prefilling
+            })
+            .collect();
+        if policy == SchedulingPolicy::ShortestPrefillFirst {
+            waiting.sort_by_key(|s| (s.remaining_prefill(), s.id));
+        }
+        for s in waiting {
+            if items.len() >= max_batch || tokens >= token_budget {
+                break;
+            }
+            let room = token_budget - tokens;
+            let chunk = s.remaining_prefill().min(prefill_chunk).min(room);
+            items.push(BatchItem {
+                id: s.id,
+                phase: Phase::Prefill,
+                tokens: chunk,
+                context_len: s.prefilled_tokens + chunk,
+            });
+            tokens += chunk;
+        }
+
+        debug_assert!(!items.is_empty(), "a model with runnable work must yield items");
+        debug_assert!(tokens <= token_budget, "token budget exceeded");
+        Some(MicroBatch { model, items })
+    }
+
+    /// Applies the effects of an executed micro-batch at simulated cycle
+    /// `end_cycle`: prefill chunks advance the cached prompt prefix (a
+    /// completed prefill emits the first output token), decode slots emit one
+    /// token each, and sessions that reach their requested output length
+    /// finish.
+    ///
+    /// # Panics
+    /// Panics if the batch references an id this scheduler did not issue.
+    pub fn complete(&mut self, batch: &MicroBatch, end_cycle: u64) {
+        for item in &batch.items {
+            let s = &mut self.sessions[item.id.0 as usize];
+            match item.phase {
+                Phase::Prefill => {
+                    s.prefilled_tokens += item.tokens;
+                    debug_assert!(s.prefilled_tokens <= s.request.prompt_tokens);
+                    if s.remaining_prefill() == 0 {
+                        // The prefill step produces the first output token.
+                        s.generated_tokens = 1;
+                        s.first_token_cycle = Some(end_cycle);
+                        if s.generated_tokens >= s.request.output_tokens {
+                            s.state = SessionState::Finished;
+                            s.finish_cycle = Some(end_cycle);
+                        } else {
+                            s.state = SessionState::Decoding;
+                        }
+                    }
+                }
+                Phase::Decode => {
+                    s.generated_tokens += 1;
+                    if s.generated_tokens >= s.request.output_tokens {
+                        s.state = SessionState::Finished;
+                        s.finish_cycle = Some(end_cycle);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(model: ModelId, prompt: usize, output: usize) -> Request {
+        Request::new(model, prompt, output)
+    }
+
+    #[test]
+    fn decode_slots_come_before_prefill_and_budget_is_respected() {
+        let mut sched = Scheduler::new(SchedulerConfig {
+            max_batch: 8,
+            token_budget: 64,
+            prefill_chunk: 32,
+            policy: SchedulingPolicy::Fcfs,
+        });
+        let a = sched.submit(request(ModelId::Llama2_7b, 100, 4));
+        let b = sched.submit(request(ModelId::Llama2_7b, 40, 4));
+        // First batch: no decodes yet, two prefill chunks (32 + 32 = 64).
+        let batch = sched.next_micro_batch(0).unwrap();
+        assert_eq!(batch.items.len(), 2);
+        assert_eq!(batch.total_tokens(), 64);
+        assert!(batch.items.iter().all(|i| i.phase == Phase::Prefill));
+        assert_eq!(batch.items[0].id, a);
+        assert_eq!(batch.items[0].tokens, 32);
+        assert_eq!(batch.items[1].id, b);
+        assert_eq!(batch.items[1].tokens, 32);
+        sched.complete(&batch, 10);
+        // b finished its prompt? 40 > 32, so both still prefilling. Second
+        // batch continues the chunks.
+        let batch2 = sched.next_micro_batch(10).unwrap();
+        assert_eq!(batch2.items[0].tokens, 32); // a: 100 - 32 = 68 left, next 32
+        assert_eq!(batch2.items[1].tokens, 8); // b: 40 - 32 = 8 left
+        sched.complete(&batch2, 20);
+        // b's prefill completed: it now holds a decode slot ahead of a's
+        // remaining prefill.
+        let batch3 = sched.next_micro_batch(20).unwrap();
+        assert_eq!(batch3.items[0].id, b);
+        assert_eq!(batch3.items[0].phase, Phase::Decode);
+        assert_eq!(batch3.items[1].id, a);
+        assert_eq!(batch3.items[1].phase, Phase::Prefill);
+    }
+
+    #[test]
+    fn shortest_prefill_first_reorders_waiting_prompts() {
+        let mut sched = Scheduler::new(SchedulerConfig {
+            max_batch: 2,
+            token_budget: 1024,
+            prefill_chunk: 512,
+            policy: SchedulingPolicy::ShortestPrefillFirst,
+        });
+        sched.submit(request(ModelId::Llama2_7b, 400, 2));
+        let short = sched.submit(request(ModelId::Llama2_7b, 50, 2));
+        let batch = sched.next_micro_batch(0).unwrap();
+        assert_eq!(batch.items[0].id, short, "shortest prompt admitted first");
+    }
+
+    #[test]
+    fn models_round_robin_across_micro_batches() {
+        let mut sched = Scheduler::new(SchedulerConfig::default());
+        sched.submit(request(ModelId::Llama2_7b, 64, 8));
+        sched.submit(request(ModelId::Llama2_70b, 64, 8));
+        let first = sched.next_micro_batch(0).unwrap();
+        let second = sched.next_micro_batch(0).unwrap();
+        assert_ne!(first.model, second.model);
+    }
+
+    #[test]
+    fn prefill_completion_emits_first_token_and_transitions_to_decode() {
+        let mut sched = Scheduler::new(SchedulerConfig::default());
+        let id = sched.submit(request(ModelId::Llama2_7b, 64, 3));
+        let batch = sched.next_micro_batch(0).unwrap();
+        sched.complete(&batch, 100);
+        let s = sched.session(id);
+        assert_eq!(s.state, SessionState::Decoding);
+        assert_eq!(s.generated_tokens, 1);
+        assert_eq!(s.first_token_cycle, Some(100));
+        // Two decode steps finish the request.
+        for t in [200, 300] {
+            let b = sched.next_micro_batch(t - 100).unwrap();
+            assert_eq!(b.items[0].phase, Phase::Decode);
+            sched.complete(&b, t);
+        }
+        let s = sched.session(id);
+        assert!(s.is_finished());
+        assert_eq!(s.generated_tokens, 3);
+        assert_eq!(s.finish_cycle, Some(300));
+        assert!(sched.all_finished());
+        assert!(sched.next_micro_batch(400).is_none());
+    }
+
+    #[test]
+    fn future_arrivals_wait_and_are_reported() {
+        let mut sched = Scheduler::new(SchedulerConfig::default());
+        sched.submit(request(ModelId::Llama2_7b, 16, 1).arriving_at(1000));
+        assert!(sched.next_micro_batch(0).is_none());
+        assert_eq!(sched.next_arrival_after(0), Some(1000));
+        assert!(sched.next_micro_batch(1000).is_some());
+    }
+
+    #[test]
+    fn slices_bucket_decode_contexts_and_keep_prefill_chunks() {
+        let batch = MicroBatch {
+            model: ModelId::Llama2_7b,
+            items: vec![
+                BatchItem { id: RequestId(0), phase: Phase::Decode, tokens: 1, context_len: 70 },
+                BatchItem { id: RequestId(1), phase: Phase::Decode, tokens: 1, context_len: 100 },
+                BatchItem { id: RequestId(2), phase: Phase::Decode, tokens: 1, context_len: 300 },
+                BatchItem { id: RequestId(3), phase: Phase::Prefill, tokens: 96, context_len: 224 },
+            ],
+        };
+        let slices = batch.slices(128);
+        assert_eq!(slices.len(), 3);
+        assert_eq!(slices[0], BatchSlice::decode(2, 128));
+        assert_eq!(slices[1], BatchSlice::decode(1, 384));
+        assert_eq!(slices[2], BatchSlice::prefill(1, 96).with_kv_len(256));
+    }
+
+    #[test]
+    #[should_panic(expected = "token_budget must be non-zero")]
+    fn zero_budget_rejected() {
+        Scheduler::new(SchedulerConfig {
+            max_batch: 1,
+            token_budget: 0,
+            prefill_chunk: 1,
+            policy: SchedulingPolicy::Fcfs,
+        });
+    }
+}

@@ -1,0 +1,161 @@
+//! Per-request and aggregate serving statistics: TTFT, TPOT, throughput and
+//! their percentiles, plus a human-readable report table.
+
+use crate::request::RequestId;
+use mugi_workloads::models::ModelId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Latency and efficiency statistics of one finished request.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RequestStats {
+    /// Request identifier.
+    pub id: RequestId,
+    /// Model the request ran on.
+    pub model: ModelId,
+    /// Prompt length in tokens.
+    pub prompt_tokens: usize,
+    /// Generated output length in tokens.
+    pub output_tokens: usize,
+    /// Time to first token in seconds (arrival → first token).
+    pub ttft_s: f64,
+    /// Time per output token in seconds (first → last token, averaged over
+    /// the decode steps; zero for single-token outputs).
+    pub tpot_s: f64,
+    /// End-to-end latency in seconds (arrival → last token).
+    pub e2e_s: f64,
+    /// Output tokens per second of end-to-end latency.
+    pub tokens_per_s: f64,
+    /// Energy attributed to this request in µJ (its token share of every
+    /// micro-batch it participated in).
+    pub energy_uj: f64,
+    /// Micro-batches the request participated in.
+    pub micro_batches: u64,
+}
+
+/// p50/p95/p99 of a latency population.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Computes percentiles over `values` (need not be sorted). Returns the
+    /// default (all zero) for an empty slice.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Percentiles::default();
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        Percentiles {
+            p50: percentile(&sorted, 50.0),
+            p95: percentile(&sorted, 95.0),
+            p99: percentile(&sorted, 99.0),
+        }
+    }
+}
+
+/// Nearest-rank percentile over a sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// The aggregate outcome of one serving run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeReport {
+    /// Per-request statistics in submission order.
+    pub requests: Vec<RequestStats>,
+    /// Simulated wall-clock of the whole run in seconds.
+    pub makespan_s: f64,
+    /// Total output tokens generated.
+    pub total_output_tokens: u64,
+    /// Output tokens per second of makespan (the serving throughput).
+    pub throughput_tokens_per_s: f64,
+    /// Micro-batches executed.
+    pub micro_batches: u64,
+    /// Time-to-first-token percentiles in seconds.
+    pub ttft: Percentiles,
+    /// Time-per-output-token percentiles in seconds (multi-token requests).
+    pub tpot: Percentiles,
+    /// Operator traces cached by the accelerator at the end of the run.
+    pub trace_cache_entries: usize,
+}
+
+impl RuntimeReport {
+    /// Statistics restricted to one model.
+    pub fn for_model(&self, model: ModelId) -> Vec<&RequestStats> {
+        self.requests.iter().filter(|r| r.model == model).collect()
+    }
+}
+
+impl fmt::Display for RuntimeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} requests, {} tokens in {:.1} s simulated — {:.2} tokens/s over {} micro-batches",
+            self.requests.len(),
+            self.total_output_tokens,
+            self.makespan_s,
+            self.throughput_tokens_per_s,
+            self.micro_batches,
+        )?;
+        writeln!(
+            f,
+            "TTFT p50/p95/p99: {:.1}/{:.1}/{:.1} s   TPOT p50/p95/p99: {:.2}/{:.2}/{:.2} s",
+            self.ttft.p50,
+            self.ttft.p95,
+            self.ttft.p99,
+            self.tpot.p50,
+            self.tpot.p95,
+            self.tpot.p99,
+        )?;
+        write!(f, "trace cache: {} entries", self.trace_cache_entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_uniform_population() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p = Percentiles::of(&values);
+        assert_eq!(p.p50, 51.0); // nearest rank on 0-indexed 99-step range
+        assert_eq!(p.p95, 95.0);
+        assert_eq!(p.p99, 99.0);
+    }
+
+    #[test]
+    fn percentiles_of_empty_and_singleton() {
+        assert_eq!(Percentiles::of(&[]), Percentiles::default());
+        let p = Percentiles::of(&[2.5]);
+        assert_eq!((p.p50, p.p95, p.p99), (2.5, 2.5, 2.5));
+    }
+
+    #[test]
+    fn report_display_mentions_throughput_and_percentiles() {
+        let report = RuntimeReport {
+            requests: vec![],
+            makespan_s: 0.5,
+            total_output_tokens: 1000,
+            throughput_tokens_per_s: 2000.0,
+            micro_batches: 42,
+            ttft: Percentiles { p50: 0.001, p95: 0.002, p99: 0.003 },
+            tpot: Percentiles { p50: 0.0001, p95: 0.0002, p99: 0.0003 },
+            trace_cache_entries: 7,
+        };
+        let text = report.to_string();
+        assert!(text.contains("2000.00 tokens/s"));
+        assert!(text.contains("TTFT"));
+        assert!(text.contains("42 micro-batches"));
+        assert!(text.contains("7 entries"));
+    }
+}

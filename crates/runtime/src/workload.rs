@@ -1,0 +1,97 @@
+//! Deterministic synthetic serving workloads for examples, benchmarks and
+//! tests: a seeded stream of requests with varied prompt/output lengths,
+//! optionally staggered arrivals, spread round-robin across models.
+
+use crate::request::Request;
+use mugi_workloads::models::ModelId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Prompt/output length and arrival ranges of a synthetic workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WorkloadSpec {
+    /// Inclusive prompt-length range in tokens.
+    pub prompt_tokens: (usize, usize),
+    /// Inclusive output-length range in tokens.
+    pub output_tokens: (usize, usize),
+    /// Arrivals are spread uniformly over `[0, arrival_spread_cycles]`
+    /// (zero means a single burst at cycle zero).
+    pub arrival_spread_cycles: u64,
+}
+
+impl Default for WorkloadSpec {
+    /// Prompts of 32–512 tokens, outputs of 4–48 tokens, one burst.
+    fn default() -> Self {
+        WorkloadSpec { prompt_tokens: (32, 512), output_tokens: (4, 48), arrival_spread_cycles: 0 }
+    }
+}
+
+/// Generates `count` deterministic requests round-robined across `models`
+/// with lengths drawn from `spec` (seeded `SmallRng`, like the experiment
+/// drivers).
+///
+/// # Panics
+/// Panics if `models` is empty or a range is inverted.
+pub fn synthetic_requests(
+    seed: u64,
+    count: usize,
+    models: &[ModelId],
+    spec: WorkloadSpec,
+) -> Vec<Request> {
+    assert!(!models.is_empty(), "models must be non-empty");
+    let (pmin, pmax) = spec.prompt_tokens;
+    let (omin, omax) = spec.output_tokens;
+    assert!(pmin >= 1 && pmin <= pmax, "invalid prompt range");
+    assert!(omin >= 1 && omin <= omax, "invalid output range");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let model = models[i % models.len()];
+            let prompt = rng.gen_range(pmin..=pmax);
+            let output = rng.gen_range(omin..=omax);
+            let arrival = if spec.arrival_spread_cycles == 0 {
+                0
+            } else {
+                rng.gen_range(0..=spec.arrival_spread_cycles)
+            };
+            Request::new(model, prompt, output).arriving_at(arrival)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_in_range() {
+        let spec = WorkloadSpec::default();
+        let models = [ModelId::Llama2_7b, ModelId::Llama2_70b];
+        let a = synthetic_requests(42, 64, &models, spec);
+        let b = synthetic_requests(42, 64, &models, spec);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        for (i, r) in a.iter().enumerate() {
+            assert_eq!(r.model, models[i % 2]);
+            assert!((32..=512).contains(&r.prompt_tokens));
+            assert!((4..=48).contains(&r.output_tokens));
+            assert_eq!(r.arrival_cycle, 0);
+        }
+        let c = synthetic_requests(43, 64, &models, spec);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_spread_when_requested() {
+        let spec = WorkloadSpec { arrival_spread_cycles: 1_000_000, ..WorkloadSpec::default() };
+        let reqs = synthetic_requests(7, 32, &[ModelId::Llama2_7b], spec);
+        assert!(reqs.iter().any(|r| r.arrival_cycle > 0));
+        assert!(reqs.iter().all(|r| r.arrival_cycle <= 1_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "models must be non-empty")]
+    fn empty_models_rejected() {
+        synthetic_requests(1, 4, &[], WorkloadSpec::default());
+    }
+}

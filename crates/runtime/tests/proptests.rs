@@ -1,0 +1,128 @@
+//! Property tests for the continuous-batching scheduler: liveness (no
+//! request starves), the micro-batch caps (token budget, max batch), and
+//! exact output-token accounting.
+
+use mugi_runtime::{Request, Scheduler, SchedulerConfig, SchedulingPolicy};
+use mugi_workloads::models::ModelId;
+use proptest::prelude::*;
+
+prop_compose! {
+    fn request_strategy()(
+        model_idx in 0usize..3,
+        prompt in 1usize..300,
+        output in 1usize..24,
+        arrival in 0u64..500,
+    ) -> Request {
+        let models = [ModelId::Llama2_7b, ModelId::Llama2_13b, ModelId::Llama2_70b];
+        Request::new(models[model_idx], prompt, output).arriving_at(arrival)
+    }
+}
+
+prop_compose! {
+    fn config_strategy()(
+        max_batch in 1usize..17,
+        token_budget in 1usize..512,
+        prefill_chunk in 1usize..128,
+        spf in any::<bool>(),
+    ) -> SchedulerConfig {
+        SchedulerConfig {
+            max_batch,
+            token_budget,
+            prefill_chunk,
+            policy: if spf {
+                SchedulingPolicy::ShortestPrefillFirst
+            } else {
+                SchedulingPolicy::Fcfs
+            },
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn scheduler_drains_every_workload_within_its_caps(
+        requests in prop::collection::vec(request_strategy(), 1..40),
+        config in config_strategy(),
+    ) {
+        let mut sched = Scheduler::new(config);
+        for r in &requests {
+            sched.submit(*r);
+        }
+        // Every emitted micro-batch advances at least one token of total
+        // work, and the clock only jumps when a future arrival is the sole
+        // remaining work, so the loop must drain within this bound — a
+        // starving request would blow it.
+        let total_work: usize =
+            requests.iter().map(|r| r.prompt_tokens + r.output_tokens).sum();
+        let cap = total_work + requests.len() + 10;
+        let mut now = 0u64;
+        let mut steps = 0usize;
+        while !sched.all_finished() {
+            steps += 1;
+            prop_assert!(steps <= cap, "scheduler made no progress (starvation)");
+            if let Some(batch) = sched.next_micro_batch(now) {
+                // The hard caps hold for every micro-batch.
+                prop_assert!(batch.items.len() <= config.max_batch);
+                prop_assert!(batch.total_tokens() <= config.token_budget);
+                for item in &batch.items {
+                    prop_assert!(item.tokens >= 1);
+                    prop_assert!(item.tokens <= config.prefill_chunk.max(1));
+                    prop_assert_eq!(
+                        sched.session(item.id).request.model, batch.model,
+                        "micro-batches are per-model"
+                    );
+                }
+                now += 1;
+                sched.complete(&batch, now);
+            } else {
+                let next = sched.next_arrival_after(now);
+                prop_assert!(next.is_some(), "unfinished work but nothing runnable");
+                now = next.unwrap();
+            }
+        }
+        // Exact accounting: every request generated exactly what it asked
+        // for, prefilled its whole prompt, and its milestones are ordered.
+        for s in sched.sessions() {
+            prop_assert!(s.is_finished());
+            prop_assert_eq!(s.generated_tokens, s.request.output_tokens);
+            prop_assert_eq!(s.prefilled_tokens, s.request.prompt_tokens);
+            let first = s.first_token_cycle.unwrap();
+            let finish = s.finish_cycle.unwrap();
+            prop_assert!(first >= s.request.arrival_cycle);
+            prop_assert!(finish >= first);
+        }
+    }
+
+    #[test]
+    fn decode_slots_never_outnumber_in_flight_sessions(
+        requests in prop::collection::vec(request_strategy(), 1..20),
+        config in config_strategy(),
+    ) {
+        let mut sched = Scheduler::new(config);
+        for r in &requests {
+            sched.submit(*r);
+        }
+        let mut now = 0u64;
+        for _ in 0..2000 {
+            if sched.all_finished() {
+                break;
+            }
+            match sched.next_micro_batch(now) {
+                Some(batch) => {
+                    prop_assert!(batch.decode_slots() <= requests.len());
+                    // A session appears at most once per micro-batch.
+                    let mut ids: Vec<_> = batch.items.iter().map(|i| i.id).collect();
+                    ids.sort();
+                    ids.dedup();
+                    prop_assert_eq!(ids.len(), batch.items.len());
+                    now += 1;
+                    sched.complete(&batch, now);
+                }
+                None => match sched.next_arrival_after(now) {
+                    Some(next) => now = next,
+                    None => break,
+                },
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! End-to-end serving integration: 64 concurrent requests across two models
+//! through the scheduler → executor → accelerator pipeline.
+
+use mugi::MugiAccelerator;
+use mugi_numerics::exec::ExecutionContext;
+use mugi_runtime::{
+    synthetic_requests, Executor, Scheduler, SchedulerConfig, SchedulingPolicy, WorkloadSpec,
+};
+use mugi_workloads::models::ModelId;
+
+const MODELS: [ModelId; 2] = [ModelId::Llama2_7b, ModelId::Llama2_70b];
+
+fn run_with(policy: SchedulingPolicy, ctx: ExecutionContext) -> mugi_runtime::RuntimeReport {
+    let requests = synthetic_requests(7, 64, &MODELS, WorkloadSpec::default());
+    let mut engine = Executor::new(
+        MugiAccelerator::with_context(256, ctx),
+        Scheduler::new(SchedulerConfig { policy, ..SchedulerConfig::default() }),
+    );
+    for r in &requests {
+        engine.submit(*r);
+    }
+    engine.run()
+}
+
+#[test]
+fn serves_64_concurrent_requests_across_two_models() {
+    let requests = synthetic_requests(7, 64, &MODELS, WorkloadSpec::default());
+    let report = run_with(SchedulingPolicy::Fcfs, ExecutionContext::default());
+    assert_eq!(report.requests.len(), 64, "every request must finish");
+    for (stats, request) in report.requests.iter().zip(&requests) {
+        assert_eq!(stats.output_tokens, request.output_tokens);
+        assert_eq!(stats.prompt_tokens, request.prompt_tokens);
+        assert!(stats.ttft_s > 0.0);
+        assert!(stats.e2e_s >= stats.ttft_s);
+        assert!(stats.energy_uj > 0.0);
+        assert!(stats.micro_batches > 0);
+    }
+    assert_eq!(report.for_model(ModelId::Llama2_7b).len(), 32);
+    assert_eq!(report.for_model(ModelId::Llama2_70b).len(), 32);
+    assert!(report.throughput_tokens_per_s > 0.0);
+    assert!(report.ttft.p50 > 0.0 && report.ttft.p99 >= report.ttft.p50);
+    assert!(report.tpot.p50 > 0.0 && report.tpot.p99 >= report.tpot.p50);
+    // Bucketed decode contexts keep the shared trace cache far smaller than
+    // the number of executed micro-batches.
+    assert!((report.trace_cache_entries as u64) < report.micro_batches);
+    let total: u64 = requests.iter().map(|r| r.output_tokens as u64).sum();
+    assert_eq!(report.total_output_tokens, total);
+}
+
+#[test]
+fn both_policies_generate_the_same_tokens() {
+    let fcfs = run_with(SchedulingPolicy::Fcfs, ExecutionContext::default());
+    let spf = run_with(SchedulingPolicy::ShortestPrefillFirst, ExecutionContext::default());
+    assert_eq!(fcfs.total_output_tokens, spf.total_output_tokens);
+    assert_eq!(fcfs.requests.len(), spf.requests.len());
+    assert!(spf.ttft.p50 > 0.0);
+}
+
+#[test]
+fn simulated_statistics_are_independent_of_the_execution_context() {
+    // The execution context parallelizes the software kernels; the simulated
+    // serving clock, latencies and energies must not change at all.
+    let single = run_with(SchedulingPolicy::Fcfs, ExecutionContext::default());
+    let parallel = run_with(SchedulingPolicy::Fcfs, ExecutionContext::with_threads(4));
+    assert_eq!(single, parallel);
+}

@@ -16,6 +16,7 @@
 //! VLP is not an approximation for GEMM, only for nonlinear operations.
 
 use crate::reuse::{outer_product, ReuseStats};
+use mugi_numerics::exec::ExecutionContext;
 use mugi_numerics::quant::QuantizedMatrix;
 use mugi_numerics::tensor::Matrix;
 use serde::{Deserialize, Serialize};
@@ -89,23 +90,42 @@ pub struct GemmStats {
 #[derive(Clone, Debug)]
 pub struct VlpGemm {
     config: VlpGemmConfig,
+    exec: ExecutionContext,
 }
 
 impl VlpGemm {
-    /// Creates an engine with the given configuration.
+    /// Creates an engine with the given configuration and the default
+    /// (single-threaded) execution context for its software kernels.
     ///
     /// # Panics
     /// Panics if the array dimensions are zero or the magnitude width is not
     /// in `1..=7`.
     pub fn new(config: VlpGemmConfig) -> Self {
+        VlpGemm::with_context(config, ExecutionContext::default())
+    }
+
+    /// Creates an engine whose functional GEMMs run under `exec` (thread
+    /// count and cache-tile size). The execution context changes only how
+    /// fast the software model computes the output, never the output itself
+    /// or the modelled cycle statistics.
+    ///
+    /// # Panics
+    /// Panics if the array dimensions are zero or the magnitude width is not
+    /// in `1..=7`.
+    pub fn with_context(config: VlpGemmConfig, exec: ExecutionContext) -> Self {
         assert!(config.height > 0 && config.width > 0, "array dimensions must be non-zero");
         assert!((1..=7).contains(&config.magnitude_bits), "magnitude_bits must be in 1..=7");
-        VlpGemm { config }
+        VlpGemm { config, exec }
     }
 
     /// The configuration this engine was built with.
     pub fn config(&self) -> &VlpGemmConfig {
         &self.config
+    }
+
+    /// The execution context the functional kernels run under.
+    pub fn execution_context(&self) -> &ExecutionContext {
+        &self.exec
     }
 
     /// Asymmetric BF16–INT4 GEMM: `activations (m×k) × weightsᵀ` where
@@ -137,7 +157,7 @@ impl VlpGemm {
         // per-group rescale — identical maths to dequantize-then-GEMM because
         // dequantization is affine per group.
         let dequant = weights.dequantize();
-        let output = activations.matmul(&dequant.transpose());
+        let output = activations.matmul_with(&dequant.transpose(), &self.exec);
         let stats = self.stats_for(m, n, k);
         (output, stats)
     }
@@ -149,7 +169,7 @@ impl VlpGemm {
     /// # Panics
     /// Panics if the inner dimensions disagree.
     pub fn gemm_dense(&self, a: &Matrix, b: &Matrix) -> (Matrix, GemmStats) {
-        let output = a.matmul(b);
+        let output = a.matmul_with(b, &self.exec);
         let stats = self.stats_for(a.rows(), b.cols(), a.cols());
         (output, stats)
     }
@@ -186,6 +206,17 @@ impl VlpGemm {
         let provisioned =
             (self.config.height * self.config.width) as f64 * (tiles * k as u64) as f64;
         let utilization = if provisioned > 0.0 { (useful / provisioned).min(1.0) } else { 0.0 };
+        // Subscriptions count temporal spike (latch) events, which belong to
+        // the temporally-coded dimension: each of the `row_dim` coded values
+        // spikes once per K-step sweep, and one spike serves every broadcast
+        // column of the tile simultaneously — that sharing is the value-level
+        // parallelism. Column tiles are separate sweep passes, so the coded
+        // values re-spike once per column tile. Multiplications avoided count
+        // what a conventional datapath would execute: one multiply per useful
+        // MAC. The two were previously both set to `m*n*k`, double-counting
+        // spikes once per broadcast column and hiding the mapping-dependent
+        // reuse factor (`multiplications_avoided / subscriptions`).
+        let subscriptions = row_dim as u64 * k as u64 * col_tiles;
         GemmStats {
             cycles,
             tiles,
@@ -193,7 +224,7 @@ impl VlpGemm {
             reuse: ReuseStats {
                 cycles,
                 accumulations: cycles * self.config.width as u64,
-                subscriptions: (m * n * k) as u64,
+                subscriptions,
                 multiplications_avoided: (m * n * k) as u64,
             },
         }
@@ -243,6 +274,51 @@ mod tests {
         let carat = VlpGemm::new(VlpGemmConfig::carat(128));
         let carat_stats = carat.stats_for(8, 4096, 4096);
         assert!(carat_stats.utilization < 0.1);
+    }
+
+    #[test]
+    fn reuse_accounting_follows_temporal_dimension() {
+        // Regression for the double-count where `subscriptions` and
+        // `multiplications_avoided` were both `m*n*k` regardless of mapping.
+        // Mugi maps the n=256 weights on the temporally-coded rows (2 row
+        // tiles of 128) and the m=8 activations on the broadcast columns
+        // (1 column tile): one spike per coded weight per K-step.
+        let mugi = VlpGemm::new(VlpGemmConfig::mugi(128));
+        let s = mugi.stats_for(8, 256, 64).reuse;
+        assert_eq!(s.subscriptions, 256 * 64);
+        assert_eq!(s.multiplications_avoided, 8 * 256 * 64);
+        // The reuse factor is the shared broadcast width (8 columns).
+        assert_eq!(s.multiplications_avoided / s.subscriptions, 8);
+        // The two mappings now account differently: with m=3 activations the
+        // Mugi mapping still spikes every weight once per K-step (partially
+        // filled columns), while Carat puts the 3 activations on the rows and
+        // re-spikes them across 256/8 = 32 column tiles.
+        let m_stats = mugi.stats_for(3, 256, 64).reuse;
+        let carat = VlpGemm::new(VlpGemmConfig::carat(128));
+        let c_stats = carat.stats_for(3, 256, 64).reuse;
+        assert_eq!(m_stats.subscriptions, 256 * 64);
+        assert_eq!(c_stats.subscriptions, 3 * 64 * 32);
+        assert_ne!(m_stats.subscriptions, c_stats.subscriptions);
+        assert_eq!(m_stats.multiplications_avoided, c_stats.multiplications_avoided);
+    }
+
+    #[test]
+    fn execution_context_changes_speed_not_output() {
+        let activations = pseudo_random_matrix(8, 64, 1, 1.0);
+        let weights = pseudo_random_matrix(16, 64, 2, 0.5);
+        let q = weight_only_quantize(&weights, 32);
+        let single = VlpGemm::new(VlpGemmConfig::mugi(128));
+        let parallel = VlpGemm::with_context(
+            VlpGemmConfig::mugi(128),
+            mugi_numerics::exec::ExecutionContext::with_threads(4),
+        );
+        assert_eq!(parallel.execution_context().threads(), 4);
+        let (out_single, stats_single) = single.gemm_bf16_int4(&activations, &q);
+        let (out_parallel, stats_parallel) = parallel.gemm_bf16_int4(&activations, &q);
+        for (x, y) in out_single.data().iter().zip(out_parallel.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(stats_single, stats_parallel);
     }
 
     #[test]

@@ -109,9 +109,12 @@ pub fn outer_product(column: &[i32], row: &[f32], magnitude_bits: u32) -> (Vec<f
             out[r * row.len() + c] = p;
         }
         total.accumulations += stats.accumulations;
-        total.subscriptions += stats.subscriptions;
         total.multiplications_avoided += stats.multiplications_avoided;
     }
+    // One temporal spike per coded lane per sweep: the spike is shared by
+    // every broadcast column (that sharing is the value-level parallelism),
+    // so subscriptions scale with the temporally-coded dimension only.
+    total.subscriptions = column.len() as u64;
     total.cycles = sweep_cycles(magnitude_bits);
     (out, total)
 }
@@ -158,9 +161,12 @@ mod tests {
                 assert!((out[r * row.len() + c] - cv as f32 * rv).abs() < 1e-6);
             }
         }
-        // One temporal sweep regardless of the number of columns.
+        // One temporal sweep regardless of the number of columns, and one
+        // subscription per coded lane (the spike is shared by all columns).
         assert_eq!(stats.cycles, 8);
         assert_eq!(stats.multiplications_avoided, 12);
+        assert_eq!(stats.subscriptions, 3);
+        assert!(stats.subscriptions < stats.multiplications_avoided);
     }
 
     #[test]

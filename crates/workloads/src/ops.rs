@@ -40,6 +40,71 @@ impl GemmKind {
     }
 }
 
+/// One homogeneous slice of a (possibly mixed) micro-batch: `batch` requests
+/// in the same phase sharing a token count and a KV-cache context length.
+///
+/// A classic trace is a single slice; a continuous-batching scheduler
+/// composes several (decode slots plus chunked-prefill slices) and hands
+/// them to [`OpTrace::generate_mixed`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BatchSlice {
+    /// Inference phase of every request in the slice.
+    pub phase: Phase,
+    /// Number of requests in the slice.
+    pub batch: usize,
+    /// Tokens processed per request this step: the prompt (or prompt-chunk)
+    /// length for prefill, the attended context length for decode.
+    pub seq_len: usize,
+    /// KV-cache entries each request attends to. Equals `seq_len` for the
+    /// classic whole-prompt traces; a chunked prefill slice attends to the
+    /// previously cached prefix plus its own chunk, so `kv_len > seq_len`.
+    pub kv_len: usize,
+}
+
+impl BatchSlice {
+    /// A slice whose attended context equals its token count (the classic
+    /// whole-prompt prefill / full-context decode case).
+    ///
+    /// # Panics
+    /// Panics if `batch` or `seq_len` is zero.
+    pub fn new(phase: Phase, batch: usize, seq_len: usize) -> Self {
+        assert!(batch > 0, "batch must be non-zero");
+        assert!(seq_len > 0, "seq_len must be non-zero");
+        BatchSlice { phase, batch, seq_len, kv_len: seq_len }
+    }
+
+    /// A prefill slice: `batch` prompts of `seq_len` tokens each.
+    pub fn prefill(batch: usize, seq_len: usize) -> Self {
+        BatchSlice::new(Phase::Prefill, batch, seq_len)
+    }
+
+    /// A decode slice: `batch` requests each generating one token against a
+    /// `context` entry KV cache.
+    pub fn decode(batch: usize, context: usize) -> Self {
+        BatchSlice::new(Phase::Decode, batch, context)
+    }
+
+    /// Overrides the attended KV-cache length (chunked prefill attends to the
+    /// already-cached prefix as well as its own chunk).
+    ///
+    /// # Panics
+    /// Panics if `kv_len` is zero.
+    pub fn with_kv_len(mut self, kv_len: usize) -> Self {
+        assert!(kv_len > 0, "kv_len must be non-zero");
+        self.kv_len = kv_len;
+        self
+    }
+
+    /// Tokens this slice processes in one step: `batch × seq_len` for
+    /// prefill, one per request for decode.
+    pub fn tokens(&self) -> usize {
+        match self.phase {
+            Phase::Prefill => self.batch * self.seq_len,
+            Phase::Decode => self.batch,
+        }
+    }
+}
+
 /// A single GEMM operation `A (m×k) × B (k×n)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct GemmOp {
@@ -129,6 +194,9 @@ pub struct OpTrace {
     pub woq: bool,
     /// Whether the KV cache is INT4 (KV-cache quantization).
     pub kvq: bool,
+    /// The micro-batch slices the trace was composed from (a single slice for
+    /// the classic [`OpTrace::generate`] traces).
+    pub slices: Vec<BatchSlice>,
     /// Operations of one transformer layer, in execution order.
     pub layer_ops: Vec<WorkloadOp>,
 }
@@ -152,108 +220,75 @@ impl OpTrace {
         woq: bool,
         kvq: bool,
     ) -> Self {
-        assert!(batch > 0, "batch must be non-zero");
-        assert!(seq_len > 0, "seq_len must be non-zero");
-        let d = model.hidden_dim;
-        let head_dim = model.head_dim();
-        let kv_dim = head_dim * model.kv_heads;
-        let f = model.ffn_dim;
-        let weight_bits = if woq { 4 } else { 16 };
-        let kv_bits = if kvq { 4 } else { 16 };
-        let rows = match phase {
-            Phase::Prefill => batch * seq_len,
-            Phase::Decode => batch,
-        };
+        Self::generate_mixed(model, &[BatchSlice::new(phase, batch, seq_len)], woq, kvq)
+    }
+
+    /// Generates the operator trace of one transformer layer for a *mixed*
+    /// micro-batch: the concatenation of each slice's operations in slice
+    /// order. This is what a continuous-batching scheduler feeds the
+    /// performance model — decode slots for in-flight requests composed with
+    /// chunked-prefill slices for newly admitted ones.
+    ///
+    /// Trace-level metadata aggregates over the slices: `batch` is the total
+    /// request count, `seq_len` the longest slice, and `phase` is `Prefill`
+    /// only when every slice is prefill (a mixed batch is decode-dominant by
+    /// convention).
+    ///
+    /// # Panics
+    /// Panics if `slices` is empty or any slice has a zero dimension.
+    pub fn generate_mixed(
+        model: &ModelConfig,
+        slices: &[BatchSlice],
+        woq: bool,
+        kvq: bool,
+    ) -> Self {
+        assert!(!slices.is_empty(), "slices must be non-empty");
         let mut ops = Vec::new();
-
-        // --- Projections: Q, K, V, O ------------------------------------
-        ops.push(WorkloadOp::Gemm(GemmOp {
-            kind: GemmKind::Projection,
-            m: rows,
-            k: d,
-            n: d,
-            activation_bits: 16,
-            weight_bits,
-            repeats: 2, // Q and O projections (d × d)
-        }));
-        ops.push(WorkloadOp::Gemm(GemmOp {
-            kind: GemmKind::Projection,
-            m: rows,
-            k: d,
-            n: kv_dim,
-            activation_bits: 16,
-            weight_bits,
-            repeats: 2, // K and V projections (d × kv_dim)
-        }));
-
-        // --- Attention ---------------------------------------------------
-        // Score GEMM (Q Kᵀ) and value GEMM (P V) per KV head. Under GQA the
-        // group of query heads forms the activation rows.
-        let group = model.gqa_group_size();
-        let (attn_rows, kv_len) = match phase {
-            Phase::Prefill => (batch * seq_len * group, seq_len),
-            Phase::Decode => (batch * group, seq_len),
+        for slice in slices {
+            push_slice_ops(model, *slice, woq, kvq, &mut ops);
+        }
+        let batch = slices.iter().map(|s| s.batch).sum();
+        let seq_len = slices.iter().map(|s| s.seq_len).max().unwrap_or(0);
+        let phase = if slices.iter().all(|s| s.phase == Phase::Prefill) {
+            Phase::Prefill
+        } else {
+            Phase::Decode
         };
-        ops.push(WorkloadOp::Gemm(GemmOp {
-            kind: GemmKind::Attention,
-            m: attn_rows,
-            k: head_dim,
-            n: kv_len,
-            activation_bits: 16,
-            weight_bits: kv_bits,
-            repeats: model.kv_heads, // score GEMM per KV head
-        }));
-        ops.push(WorkloadOp::Gemm(GemmOp {
-            kind: GemmKind::Attention,
-            m: attn_rows,
-            k: kv_len,
-            n: head_dim,
-            activation_bits: 16,
-            weight_bits: kv_bits,
-            repeats: model.kv_heads, // value GEMM per KV head
-        }));
-        // Softmax over the attention scores: one row of `kv_len` per query
-        // head per token.
-        let softmax_rows = match phase {
-            Phase::Prefill => batch as u64 * seq_len as u64 * model.attention_heads as u64,
-            Phase::Decode => batch as u64 * model.attention_heads as u64,
-        };
-        ops.push(WorkloadOp::Nonlinear(NonlinearTrace {
-            op: mugi_numerics::nonlinear::NonlinearOp::Softmax,
-            elements: softmax_rows * kv_len as u64,
-            row_len: kv_len,
-            repeats: 1,
-        }));
+        OpTrace {
+            model: *model,
+            phase,
+            batch,
+            seq_len,
+            woq,
+            kvq,
+            slices: slices.to_vec(),
+            layer_ops: ops,
+        }
+    }
 
-        // --- FFN -----------------------------------------------------------
-        let up_repeats = if model.gated_ffn { 2 } else { 1 };
-        ops.push(WorkloadOp::Gemm(GemmOp {
-            kind: GemmKind::Ffn,
-            m: rows,
-            k: d,
-            n: f,
-            activation_bits: 16,
-            weight_bits,
-            repeats: up_repeats, // up (+ gate) projection
-        }));
-        ops.push(WorkloadOp::Gemm(GemmOp {
-            kind: GemmKind::Ffn,
-            m: rows,
-            k: f,
-            n: d,
-            activation_bits: 16,
-            weight_bits,
-            repeats: 1, // down projection
-        }));
-        // FFN activation applied to the up-projection output.
-        ops.push(WorkloadOp::Nonlinear(NonlinearTrace {
-            op: model.ffn_activation(),
-            elements: rows as u64 * f as u64,
-            row_len: 1,
-            repeats: 1,
-        }));
+    /// Output tokens produced by one execution of this trace: one per decode
+    /// request. Zero for a pure-prefill trace.
+    pub fn decode_tokens_per_step(&self) -> usize {
+        self.slices.iter().filter(|s| s.phase == Phase::Decode).map(|s| s.batch).sum()
+    }
 
-        OpTrace { model: *model, phase, batch, seq_len, woq, kvq, layer_ops: ops }
+    /// Prompt tokens processed by one execution of this trace across its
+    /// prefill slices.
+    pub fn prefill_tokens(&self) -> usize {
+        self.slices.iter().filter(|s| s.phase == Phase::Prefill).map(|s| s.tokens()).sum()
+    }
+
+    /// Tokens per step used for throughput accounting: the decode tokens of
+    /// a mixed batch, or — for a pure-prefill trace — the number of prompts,
+    /// preserving the historical prompts-per-second meaning of prefill
+    /// throughput.
+    pub fn tokens_per_step(&self) -> usize {
+        let decode = self.decode_tokens_per_step();
+        if decode > 0 {
+            decode
+        } else {
+            self.batch
+        }
     }
 
     /// Total MACs across all GEMMs of one layer.
@@ -316,6 +351,123 @@ impl OpTrace {
             })
             .collect()
     }
+}
+
+/// Appends the per-layer operations of one micro-batch slice to `ops`.
+///
+/// * In `Prefill`, every GEMM sees `batch × seq_len` activation rows.
+/// * In `Decode`, projections/FFN see `batch` rows; attention GEMMs run
+///   against the `kv_len` cached keys/values. Under GQA the group of query
+///   heads sharing a KV head forms a small-batch GEMM of `batch × group`
+///   rows (the utilisation-critical case for Mugi).
+fn push_slice_ops(
+    model: &ModelConfig,
+    slice: BatchSlice,
+    woq: bool,
+    kvq: bool,
+    ops: &mut Vec<WorkloadOp>,
+) {
+    assert!(slice.batch > 0, "batch must be non-zero");
+    assert!(slice.seq_len > 0, "seq_len must be non-zero");
+    assert!(slice.kv_len > 0, "kv_len must be non-zero");
+    let BatchSlice { phase, batch, seq_len, kv_len } = slice;
+    let d = model.hidden_dim;
+    let head_dim = model.head_dim();
+    let kv_dim = head_dim * model.kv_heads;
+    let f = model.ffn_dim;
+    let weight_bits = if woq { 4 } else { 16 };
+    let kv_bits = if kvq { 4 } else { 16 };
+    let rows = match phase {
+        Phase::Prefill => batch * seq_len,
+        Phase::Decode => batch,
+    };
+
+    // --- Projections: Q, K, V, O ------------------------------------
+    ops.push(WorkloadOp::Gemm(GemmOp {
+        kind: GemmKind::Projection,
+        m: rows,
+        k: d,
+        n: d,
+        activation_bits: 16,
+        weight_bits,
+        repeats: 2, // Q and O projections (d × d)
+    }));
+    ops.push(WorkloadOp::Gemm(GemmOp {
+        kind: GemmKind::Projection,
+        m: rows,
+        k: d,
+        n: kv_dim,
+        activation_bits: 16,
+        weight_bits,
+        repeats: 2, // K and V projections (d × kv_dim)
+    }));
+
+    // --- Attention ---------------------------------------------------
+    // Score GEMM (Q Kᵀ) and value GEMM (P V) per KV head. Under GQA the
+    // group of query heads forms the activation rows.
+    let group = model.gqa_group_size();
+    let attn_rows = match phase {
+        Phase::Prefill => batch * seq_len * group,
+        Phase::Decode => batch * group,
+    };
+    ops.push(WorkloadOp::Gemm(GemmOp {
+        kind: GemmKind::Attention,
+        m: attn_rows,
+        k: head_dim,
+        n: kv_len,
+        activation_bits: 16,
+        weight_bits: kv_bits,
+        repeats: model.kv_heads, // score GEMM per KV head
+    }));
+    ops.push(WorkloadOp::Gemm(GemmOp {
+        kind: GemmKind::Attention,
+        m: attn_rows,
+        k: kv_len,
+        n: head_dim,
+        activation_bits: 16,
+        weight_bits: kv_bits,
+        repeats: model.kv_heads, // value GEMM per KV head
+    }));
+    // Softmax over the attention scores: one row of `kv_len` per query
+    // head per token.
+    let softmax_rows = match phase {
+        Phase::Prefill => batch as u64 * seq_len as u64 * model.attention_heads as u64,
+        Phase::Decode => batch as u64 * model.attention_heads as u64,
+    };
+    ops.push(WorkloadOp::Nonlinear(NonlinearTrace {
+        op: mugi_numerics::nonlinear::NonlinearOp::Softmax,
+        elements: softmax_rows * kv_len as u64,
+        row_len: kv_len,
+        repeats: 1,
+    }));
+
+    // --- FFN -----------------------------------------------------------
+    let up_repeats = if model.gated_ffn { 2 } else { 1 };
+    ops.push(WorkloadOp::Gemm(GemmOp {
+        kind: GemmKind::Ffn,
+        m: rows,
+        k: d,
+        n: f,
+        activation_bits: 16,
+        weight_bits,
+        repeats: up_repeats, // up (+ gate) projection
+    }));
+    ops.push(WorkloadOp::Gemm(GemmOp {
+        kind: GemmKind::Ffn,
+        m: rows,
+        k: f,
+        n: d,
+        activation_bits: 16,
+        weight_bits,
+        repeats: 1, // down projection
+    }));
+    // FFN activation applied to the up-projection output.
+    ops.push(WorkloadOp::Nonlinear(NonlinearTrace {
+        op: model.ffn_activation(),
+        elements: rows as u64 * f as u64,
+        row_len: 1,
+        repeats: 1,
+    }));
 }
 
 #[cfg(test)]
@@ -405,6 +557,66 @@ mod tests {
         let cfg = ModelId::WhisperTiny.config();
         let trace = OpTrace::generate(&cfg, Phase::Decode, 1, 128, false, false);
         assert_eq!(trace.model_macs(), trace.layer_macs() * 4);
+    }
+
+    #[test]
+    fn single_slice_trace_equals_generate() {
+        let cfg = ModelId::Llama2_70b.config();
+        let a = OpTrace::generate(&cfg, Phase::Decode, 8, 4096, true, true);
+        let b = OpTrace::generate_mixed(&cfg, &[BatchSlice::decode(8, 4096)], true, true);
+        assert_eq!(a, b);
+        assert_eq!(a.slices, vec![BatchSlice::decode(8, 4096)]);
+    }
+
+    #[test]
+    fn mixed_trace_concatenates_slices() {
+        let cfg = ModelId::Llama2_7b.config();
+        let decode = OpTrace::generate(&cfg, Phase::Decode, 8, 1024, true, true);
+        let prefill = OpTrace::generate(&cfg, Phase::Prefill, 1, 256, true, true);
+        let mixed = OpTrace::generate_mixed(
+            &cfg,
+            &[BatchSlice::decode(8, 1024), BatchSlice::prefill(1, 256)],
+            true,
+            true,
+        );
+        assert_eq!(mixed.layer_ops.len(), decode.layer_ops.len() + prefill.layer_ops.len());
+        assert_eq!(mixed.layer_macs(), decode.layer_macs() + prefill.layer_macs());
+        assert_eq!(mixed.batch, 9);
+        assert_eq!(mixed.seq_len, 1024);
+        assert_eq!(mixed.phase, Phase::Decode);
+        assert_eq!(mixed.decode_tokens_per_step(), 8);
+        assert_eq!(mixed.prefill_tokens(), 256);
+        assert_eq!(mixed.tokens_per_step(), 8);
+    }
+
+    #[test]
+    fn pure_prefill_tokens_per_step_counts_prompts() {
+        let cfg = ModelId::Llama2_7b.config();
+        let trace = OpTrace::generate(&cfg, Phase::Prefill, 4, 512, true, true);
+        assert_eq!(trace.decode_tokens_per_step(), 0);
+        assert_eq!(trace.prefill_tokens(), 4 * 512);
+        assert_eq!(trace.tokens_per_step(), 4);
+    }
+
+    #[test]
+    fn chunked_prefill_attends_to_cached_prefix() {
+        let cfg = ModelId::Llama2_7b.config();
+        let chunk = BatchSlice::prefill(1, 128).with_kv_len(512);
+        let trace = OpTrace::generate_mixed(&cfg, &[chunk], true, true);
+        let attn = trace.gemms_of_kind(GemmKind::Attention);
+        // The score GEMM runs against the whole cached context.
+        assert_eq!(attn[0].n, 512);
+        assert_eq!(attn[0].m, 128 * cfg.gqa_group_size());
+        // Projections only process the chunk's own tokens.
+        assert_eq!(trace.gemms_of_kind(GemmKind::Projection)[0].m, 128);
+        assert_eq!(trace.prefill_tokens(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "slices must be non-empty")]
+    fn empty_slices_rejected() {
+        let cfg = ModelId::Llama2_7b.config();
+        let _ = OpTrace::generate_mixed(&cfg, &[], true, true);
     }
 
     #[test]
