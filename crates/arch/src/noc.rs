@@ -49,12 +49,17 @@ impl NocConfig {
         }
     }
 
-    /// Total router area in mm².
+    /// Physical channels of the mesh: the paper's multi-node dataflow runs
+    /// separate input, weight and output channels over the links.
+    pub const CHANNELS: usize = 3;
+
+    /// Total router area in mm²: one router per node, scaled by the three
+    /// physical channels (input, weight, output) each node routes.
     pub fn router_area_mm2(&self, cost: &CostModel) -> f64 {
         if self.nodes() <= 1 {
             0.0
         } else {
-            self.nodes() as f64 * cost.noc_router_area_mm2 * 3.0 / 3.0
+            self.nodes() as f64 * cost.noc_router_area_mm2 * Self::CHANNELS as f64
         }
     }
 
@@ -117,10 +122,23 @@ mod tests {
         let cost = CostModel::default_45nm();
         assert_eq!(NocConfig::single().router_area_mm2(&cost), 0.0);
         let area = NocConfig::mesh_4x4().router_area_mm2(&cost);
-        assert!(area > 1.0 && area < 4.0, "area {area}");
+        assert!(area > 3.0 && area < 12.0, "area {area}");
         assert!(NocConfig::mesh_8x8().router_area_mm2(&cost) > area);
         assert_eq!(NocConfig::single().transfer_energy_pj(1000, &cost), 0.0);
         assert!(NocConfig::mesh_4x4().transfer_energy_pj(1000, &cost) > 0.0);
+    }
+
+    #[test]
+    fn router_area_scales_with_the_three_physical_channels() {
+        // Regression: the per-node router area must be multiplied by the
+        // three physical channels (a `* 3.0 / 3.0` no-op once cancelled the
+        // factor out entirely).
+        let cost = CostModel::default_45nm();
+        assert_eq!(NocConfig::CHANNELS, 3);
+        for mesh in [NocConfig::mesh_4x4(), NocConfig::mesh_8x8()] {
+            let expected = mesh.nodes() as f64 * cost.noc_router_area_mm2 * 3.0;
+            assert_eq!(mesh.router_area_mm2(&cost), expected, "{}", mesh.label());
+        }
     }
 
     #[test]

@@ -92,6 +92,19 @@ pub struct WorkloadPerformance {
     pub average_power_w: f64,
     /// Power efficiency in tokens per second per W.
     pub tokens_per_s_per_w: f64,
+    /// Nodes the workload was tiled across (1 for a single-node evaluation).
+    pub nodes: usize,
+    /// Cycles one step takes with the workload tiled across the mesh:
+    /// `node.total_cycles` derated by the NoC throughput multiplier (rounded
+    /// up, so equal to `node.total_cycles` on a single node). This is the
+    /// step latency a serving runtime should advance its clock by.
+    pub effective_cycles: u64,
+    /// NoC transfer energy in pJ for inter-node activation / accumulation
+    /// movement (zero on a single node).
+    pub noc_energy_pj: f64,
+    /// Total energy in pJ across all nodes for one step: dynamic + HBM +
+    /// leakage (scaled by node count) + NoC transfer.
+    pub total_energy_pj: f64,
     /// Single-node performance the workload numbers were derived from.
     pub node: NodePerformance,
 }
@@ -256,6 +269,10 @@ impl PerfModel {
             tokens_per_uj,
             average_power_w,
             tokens_per_s_per_w,
+            nodes: noc.nodes(),
+            effective_cycles: effective_cycles.ceil() as u64,
+            noc_energy_pj,
+            total_energy_pj,
             node,
         }
     }
@@ -375,6 +392,18 @@ mod tests {
         let speedup = mesh.tokens_per_second / single.tokens_per_second;
         assert!(speedup > 12.0 && speedup <= 16.0, "speedup {speedup}");
         assert!(mesh.area_mm2 > single.area_mm2 * 15.0);
+        // The NoC evaluation exposes its energy composition: transfer energy
+        // is zero on one node, nonzero on the mesh, and always part of the
+        // total.
+        assert_eq!(single.nodes, 1);
+        assert_eq!(mesh.nodes, 16);
+        assert_eq!(single.noc_energy_pj, 0.0);
+        assert!(mesh.noc_energy_pj > 0.0);
+        assert!(mesh.total_energy_pj > mesh.noc_energy_pj);
+        let single_total = single.node.dynamic_energy_pj
+            + single.node.hbm_energy_pj
+            + single.node.leakage_energy_pj;
+        assert!((single.total_energy_pj - single_total).abs() / single_total < 1e-9);
     }
 
     #[test]

@@ -254,6 +254,32 @@ impl MugiAccelerator {
         let trace = self.cached_trace(model, slices, true, true);
         PerfModel::new(Design::new(self.design)).evaluate(&trace)
     }
+
+    /// Evaluates one continuous-batching micro-batch tiled across a NoC mesh
+    /// of identical nodes (the paper's output-stationary multi-node
+    /// dataflow): cycles shrink by the mesh's throughput multiplier while the
+    /// NoC charges transfer energy for inter-node activation / accumulation
+    /// movement. The composed trace is cached exactly as in
+    /// [`estimate_micro_batch`](Self::estimate_micro_batch); with a 1×1 mesh
+    /// the result is identical to the single-node estimate.
+    ///
+    /// # Panics
+    /// Panics if `slices` is empty or contains a zero dimension.
+    pub fn estimate_micro_batch_noc(
+        &self,
+        model: ModelId,
+        slices: &[BatchSlice],
+        noc: NocConfig,
+    ) -> WorkloadPerformance {
+        let trace = self.cached_trace(model, slices, true, true);
+        PerfModel::new(Design::new(self.design)).evaluate_noc(&trace, noc)
+    }
+
+    /// The circuit-level cost model backing this node's estimates (used by
+    /// the serving runtime to price NoC transfers between nodes).
+    pub fn cost_model(&self) -> mugi_arch::cost::CostModel {
+        *Design::new(self.design).cost_model()
+    }
 }
 
 impl Default for MugiAccelerator {

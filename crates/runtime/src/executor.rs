@@ -1,17 +1,35 @@
 //! The executor: drives a [`MugiAccelerator`] over scheduler-emitted
-//! micro-batches and aggregates per-request cycle/energy statistics.
+//! micro-batches — on one node or across a NoC mesh — and aggregates
+//! per-request cycle/energy statistics.
 //!
-//! Each [`Executor::step`] asks the scheduler for one micro-batch, converts
-//! it into workload slices (decode contexts bucketed at paged-KV
-//! granularity), evaluates the composed trace on the accelerator's
-//! performance model — the trace itself is cached per micro-batch shape by
-//! `MugiAccelerator` — advances the simulated clock by the step's cycles and
-//! feeds the completion back into the scheduler. Energy is attributed to
-//! requests proportionally to their token share of the step.
+//! Each dispatch asks the scheduler for one micro-batch, converts it into
+//! workload slices (decode contexts bucketed at paged-KV granularity) and
+//! evaluates the composed trace on the accelerator's performance model — the
+//! trace itself is cached per micro-batch shape by `MugiAccelerator`. Where
+//! the batch runs depends on the [`Placement`]:
+//!
+//! * **data-parallel** — the batch runs whole on the idle node with the
+//!   earliest clock; other nodes keep executing their own batches, so
+//!   independent micro-batches overlap in simulated time. The NoC charges
+//!   transfer energy for moving the batch's token activations to its node
+//!   and the results back.
+//! * **sharded** — the batch's GEMM trace is tiled across every node
+//!   (inter-node accumulation): the step takes `1 / throughput_multiplier`
+//!   of its single-node cycles while the NoC transfer model charges the
+//!   activation and partial-sum movement between nodes.
+//!
+//! Completion effects are applied at the batch's end cycle and sessions
+//! become schedulable again only then, so overlapping execution stays
+//! causal. Step energy is attributed to requests by their token share,
+//! except the attention share of the dynamic energy, which is weighted by
+//! attended KV as well — a 4096-context decode slot costs more than a
+//! 64-context one.
 
+use crate::placement::{NodePool, Placement, PlacementPolicy};
 use crate::request::{Request, RequestId};
-use crate::scheduler::{MicroBatch, Scheduler};
+use crate::scheduler::{BatchItem, MicroBatch, Scheduler};
 use crate::stats::{Percentiles, RequestStats, RuntimeReport};
+use mugi::arch::cost::CostModel;
 use mugi::MugiAccelerator;
 use serde::{Deserialize, Serialize};
 
@@ -35,27 +53,43 @@ impl Default for ExecutorConfig {
 #[derive(Clone, Copy, Debug, Default)]
 struct Accounting {
     energy_pj: f64,
+    noc_energy_pj: f64,
     micro_batches: u64,
 }
 
-/// A simulated serving engine: one accelerator, one scheduler, one clock.
+/// A dispatched micro-batch whose completion effects are still pending.
+#[derive(Clone, Debug)]
+struct InFlight {
+    batch: MicroBatch,
+    /// Executing node (0 for sharded batches, which occupy every node).
+    node: usize,
+    /// Cycle at which the batch finishes and its effects apply.
+    end: u64,
+}
+
+/// A simulated serving engine: one scheduler feeding a pool of accelerator
+/// nodes (a single node by default).
 #[derive(Clone, Debug)]
 pub struct Executor {
     accel: MugiAccelerator,
     scheduler: Scheduler,
     config: ExecutorConfig,
+    placement: Placement,
+    cost: CostModel,
+    pool: NodePool,
+    in_flight: Vec<InFlight>,
     clock_cycles: u64,
     steps: u64,
     accounting: Vec<Accounting>,
 }
 
 impl Executor {
-    /// Creates an executor with the default KV bucketing.
+    /// Creates a single-node executor with the default KV bucketing.
     pub fn new(accel: MugiAccelerator, scheduler: Scheduler) -> Self {
         Executor::with_config(accel, scheduler, ExecutorConfig::default())
     }
 
-    /// Creates an executor with an explicit configuration.
+    /// Creates a single-node executor with an explicit configuration.
     ///
     /// # Panics
     /// Panics if `kv_bucket` is zero.
@@ -64,11 +98,41 @@ impl Executor {
         scheduler: Scheduler,
         config: ExecutorConfig,
     ) -> Self {
+        Executor::with_placement(accel, scheduler, config, Placement::single_node())
+    }
+
+    /// Creates an executor dispatching onto a NoC mesh under `placement`.
+    /// One `accel` instance models every (identical) node of the pool, so
+    /// all nodes share its operator-trace cache. With a 1×1 mesh the
+    /// executor behaves exactly like the single-node one, whatever the
+    /// policy.
+    ///
+    /// # Panics
+    /// Panics if `kv_bucket` is zero.
+    pub fn with_placement(
+        accel: MugiAccelerator,
+        scheduler: Scheduler,
+        config: ExecutorConfig,
+        placement: Placement,
+    ) -> Self {
         assert!(config.kv_bucket > 0, "kv_bucket must be non-zero");
         // The scheduler may already hold sessions submitted before the
         // executor was constructed; give each one an accounting slot.
         let accounting = vec![Accounting::default(); scheduler.sessions().len()];
-        Executor { accel, scheduler, config, clock_cycles: 0, steps: 0, accounting }
+        let cost = accel.cost_model();
+        let pool = NodePool::new(placement.nodes());
+        Executor {
+            accel,
+            scheduler,
+            config,
+            placement,
+            cost,
+            pool,
+            in_flight: Vec::new(),
+            clock_cycles: 0,
+            steps: 0,
+            accounting,
+        }
     }
 
     /// Submits a request to the underlying scheduler.
@@ -87,55 +151,147 @@ impl Executor {
         &self.accel
     }
 
-    /// Current simulated clock in cycles.
+    /// The placement the executor dispatches under.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Per-node clocks (when each node becomes free).
+    pub fn node_clocks(&self) -> &[u64] {
+        self.pool.clocks()
+    }
+
+    /// Current simulated makespan in cycles (end of the latest completed
+    /// micro-batch).
     pub fn clock_cycles(&self) -> u64 {
         self.clock_cycles
     }
 
-    /// Micro-batches executed so far.
+    /// Micro-batches dispatched so far.
     pub fn steps(&self) -> u64 {
         self.steps
     }
 
-    /// Executes one micro-batch. Returns `false` once every submitted
-    /// request has finished; when the only remaining work arrives in the
-    /// future, the clock jumps to that arrival and execution continues.
-    ///
-    /// # Panics
-    /// Panics if unfinished sessions exist but neither runnable work nor a
-    /// future arrival does (a scheduler invariant violation).
-    pub fn step(&mut self) -> bool {
-        loop {
-            if self.scheduler.all_finished() {
-                return false;
-            }
-            if let Some(batch) = self.scheduler.next_micro_batch(self.clock_cycles) {
-                self.execute(&batch);
-                return true;
-            }
-            self.clock_cycles = self
-                .scheduler
-                .next_arrival_after(self.clock_cycles)
-                .expect("unfinished sessions but no runnable work and no future arrival");
+    /// Whether node `i` currently executes an in-flight batch.
+    fn occupied(&self, i: usize) -> bool {
+        match self.placement.policy {
+            PlacementPolicy::Sharded => !self.in_flight.is_empty(),
+            PlacementPolicy::DataParallel => self.in_flight.iter().any(|f| f.node == i),
         }
     }
 
-    /// Evaluates one micro-batch on the accelerator and applies its effects.
-    fn execute(&mut self, batch: &MicroBatch) {
+    /// Index (into `in_flight`) of the earliest-finishing pending batch.
+    fn earliest_completion(&self) -> Option<usize> {
+        (0..self.in_flight.len()).min_by_key(|&i| (self.in_flight[i].end, i))
+    }
+
+    /// Applies the completion effects of `in_flight[idx]`.
+    fn finish(&mut self, idx: usize) {
+        let pending = self.in_flight.remove(idx);
+        self.scheduler.complete(&pending.batch, pending.end);
+        self.clock_cycles = self.clock_cycles.max(pending.end);
+    }
+
+    /// Dispatches one micro-batch. Returns `false` once every submitted
+    /// request has finished and every pending completion has been applied;
+    /// when the only remaining work lies in the future (an arrival, or a
+    /// batch still executing on another node), the idle node's clock jumps
+    /// forward and execution continues.
+    ///
+    /// # Panics
+    /// Panics if unfinished sessions exist but neither runnable work, nor an
+    /// executing batch, nor a future arrival does (a scheduler invariant
+    /// violation).
+    pub fn step(&mut self) -> bool {
+        loop {
+            if self.in_flight.is_empty() && self.scheduler.all_finished() {
+                return false;
+            }
+            let idle = self.pool.earliest((0..self.pool.len()).filter(|&i| !self.occupied(i)));
+            let Some(node) = idle else {
+                // Every node is busy: retire the earliest completion first.
+                let idx = self.earliest_completion().expect("busy nodes imply in-flight batches");
+                self.finish(idx);
+                continue;
+            };
+            let now = self.pool.free_at(node);
+            // Completions at or before this node's clock must apply first so
+            // the batch formed at `now` sees their effects.
+            if let Some(idx) = self.earliest_completion() {
+                if self.in_flight[idx].end <= now {
+                    self.finish(idx);
+                    continue;
+                }
+            }
+            if let Some(batch) = self.scheduler.next_micro_batch(now) {
+                self.dispatch(node, batch, now);
+                return true;
+            }
+            // Nothing runnable at this node's clock: wait for the next
+            // completion (which may unlock decode work) or jump to the next
+            // arrival.
+            if let Some(idx) = self.earliest_completion() {
+                let end = self.in_flight[idx].end;
+                self.finish(idx);
+                self.pool.wait_until(node, end);
+                continue;
+            }
+            let next = self
+                .scheduler
+                .next_arrival_after(now)
+                .expect("unfinished sessions but no runnable work and no future arrival");
+            // With nothing in flight, `next` is the minimum ready time after
+            // the earliest idle clock, so no node can dispatch before it:
+            // advance every earlier node in one pass instead of re-scanning
+            // the scheduler once per node.
+            for i in 0..self.pool.len() {
+                self.pool.wait_until(i, next);
+            }
+        }
+    }
+
+    /// Evaluates one micro-batch on the accelerator model, occupies its
+    /// node(s) and queues the completion.
+    fn dispatch(&mut self, node: usize, batch: MicroBatch, start: u64) {
         let slices = batch.slices(self.config.kv_bucket);
-        let perf = self.accel.estimate_micro_batch(batch.model, &slices);
-        let step_cycles = perf.node.total_cycles.max(1);
-        let step_energy_pj =
-            perf.node.dynamic_energy_pj + perf.node.hbm_energy_pj + perf.node.leakage_energy_pj;
-        self.clock_cycles += step_cycles;
+        let noc = self.placement.noc;
+        let (step_cycles, compute_energy_pj, noc_energy_pj, attention_energy_pj) =
+            match self.placement.policy {
+                PlacementPolicy::DataParallel => {
+                    let perf = self.accel.estimate_micro_batch(batch.model, &slices);
+                    let cycles = perf.node.total_cycles.max(1);
+                    let energy = perf.node.dynamic_energy_pj
+                        + perf.node.hbm_energy_pj
+                        + perf.node.leakage_energy_pj;
+                    // The front end ships the batch's BF16 token activations
+                    // to the executing node and the produced activations
+                    // ride the same links back.
+                    let bytes = 2 * (batch.total_tokens() * batch.model.config().hidden_dim * 2);
+                    let noc_e = noc.transfer_energy_pj(bytes as u64, &self.cost);
+                    (cycles, energy, noc_e, perf.node.energy_breakdown.attention)
+                }
+                PlacementPolicy::Sharded => {
+                    let perf = self.accel.estimate_micro_batch_noc(batch.model, &slices, noc);
+                    let cycles = perf.effective_cycles.max(1);
+                    let energy = perf.total_energy_pj - perf.noc_energy_pj;
+                    (cycles, energy, perf.noc_energy_pj, perf.node.energy_breakdown.attention)
+                }
+            };
+        let end = start + step_cycles;
+        match self.placement.policy {
+            PlacementPolicy::DataParallel => self.pool.dispatch_one(node, start, step_cycles),
+            PlacementPolicy::Sharded => self.pool.dispatch_all(start, step_cycles),
+        }
         self.steps += 1;
+        let shares = attribute_step_energy(&batch.items, compute_energy_pj, attention_energy_pj);
         let total_tokens = batch.total_tokens().max(1) as f64;
-        for item in &batch.items {
+        for (item, share) in batch.items.iter().zip(shares) {
             let acct = &mut self.accounting[item.id.0 as usize];
-            acct.energy_pj += step_energy_pj * item.tokens as f64 / total_tokens;
+            acct.energy_pj += share;
+            acct.noc_energy_pj += noc_energy_pj * item.tokens as f64 / total_tokens;
             acct.micro_batches += 1;
         }
-        self.scheduler.complete(batch, self.clock_cycles);
+        self.in_flight.push(InFlight { batch, node, end });
     }
 
     /// Runs until every submitted request has finished, then reports.
@@ -170,6 +326,7 @@ impl Executor {
                 e2e_s,
                 tokens_per_s: if e2e_s > 0.0 { outputs as f64 / e2e_s } else { 0.0 },
                 energy_uj: acct.energy_pj * 1e-6,
+                noc_energy_uj: acct.noc_energy_pj * 1e-6,
                 micro_batches: acct.micro_batches,
             });
         }
@@ -192,15 +349,49 @@ impl Executor {
             ttft,
             tpot,
             trace_cache_entries: self.accel.trace_cache_entries(),
+            nodes: self.pool.len(),
+            noc: self.placement.noc.label(),
+            noc_energy_uj: self.accounting.iter().map(|a| a.noc_energy_pj).sum::<f64>() * 1e-6,
+            node_busy_cycles: self.pool.busy().to_vec(),
         }
     }
+}
+
+/// Splits one step's compute energy across the batch items: the attention
+/// share of the dynamic energy is weighted by `tokens × attended KV` (long
+/// contexts read and score more cache), everything else (projections, FFN,
+/// nonlinear, HBM, leakage) by token share alone.
+fn attribute_step_energy(
+    items: &[BatchItem],
+    compute_energy_pj: f64,
+    attention_energy_pj: f64,
+) -> Vec<f64> {
+    let attention_pj = attention_energy_pj.min(compute_energy_pj);
+    let rest_pj = compute_energy_pj - attention_pj;
+    let total_tokens: f64 = items.iter().map(|i| i.tokens as f64).sum();
+    let total_kv_weight: f64 =
+        items.iter().map(|i| i.tokens as f64 * i.context_len.max(1) as f64).sum();
+    items
+        .iter()
+        .map(|i| {
+            let token_share = if total_tokens > 0.0 { i.tokens as f64 / total_tokens } else { 0.0 };
+            let kv_share = if total_kv_weight > 0.0 {
+                i.tokens as f64 * i.context_len.max(1) as f64 / total_kv_weight
+            } else {
+                0.0
+            };
+            rest_pj * token_share + attention_pj * kv_share
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scheduler::SchedulerConfig;
+    use mugi::arch::noc::NocConfig;
     use mugi_workloads::models::ModelId;
+    use mugi_workloads::ops::Phase;
 
     #[test]
     fn single_request_runs_to_completion_with_sane_stats() {
@@ -216,9 +407,13 @@ mod tests {
         assert!(r.tpot_s > 0.0);
         assert!(r.e2e_s >= r.ttft_s);
         assert!(r.energy_uj > 0.0);
+        assert_eq!(r.noc_energy_uj, 0.0, "one node moves nothing over the NoC");
         // One prefill step plus four decode steps.
         assert_eq!(r.micro_batches, 5);
         assert!(report.throughput_tokens_per_s > 0.0);
+        assert_eq!(report.nodes, 1);
+        assert_eq!(report.noc_energy_uj, 0.0);
+        assert_eq!(report.node_busy_cycles.len(), 1);
         assert!(ex.scheduler().all_finished());
     }
 
@@ -261,5 +456,86 @@ mod tests {
             "expected few cached shapes, got {}",
             report.trace_cache_entries
         );
+    }
+
+    #[test]
+    fn long_context_decodes_are_charged_more_energy() {
+        // Two decode slots in the same step: the 4096-entry context must be
+        // charged more than the 64-entry one, and the split must conserve
+        // the step energy.
+        let items = [
+            BatchItem { id: RequestId(0), phase: Phase::Decode, tokens: 1, context_len: 64 },
+            BatchItem { id: RequestId(1), phase: Phase::Decode, tokens: 1, context_len: 4096 },
+        ];
+        let shares = attribute_step_energy(&items, 1000.0, 400.0);
+        assert!(shares[1] > shares[0], "long context must pay more: {shares:?}");
+        assert!((shares.iter().sum::<f64>() - 1000.0).abs() < 1e-9, "energy is conserved");
+        // Token-share still governs the non-attention pool: with no
+        // attention energy the charges are equal.
+        let flat = attribute_step_energy(&items, 1000.0, 0.0);
+        assert!((flat[0] - flat[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_mesh_accelerates_the_run_and_charges_noc_energy() {
+        let requests: Vec<Request> =
+            (0..8).map(|i| Request::new(ModelId::Llama2_7b, 100 + i * 40, 6)).collect();
+        let run = |placement: Placement| {
+            let mut ex = Executor::with_placement(
+                MugiAccelerator::new(128),
+                Scheduler::new(SchedulerConfig::default()),
+                ExecutorConfig::default(),
+                placement,
+            );
+            for r in &requests {
+                ex.submit(*r);
+            }
+            ex.run()
+        };
+        let single = run(Placement::single_node());
+        let mesh = run(Placement::sharded(NocConfig::mesh_4x4()));
+        let speedup = mesh.throughput_tokens_per_s / single.throughput_tokens_per_s;
+        assert!(speedup > 12.0, "sharded 4x4 speedup {speedup}");
+        assert_eq!(single.noc_energy_uj, 0.0);
+        assert!(mesh.noc_energy_uj > 0.0, "sharded execution must charge NoC transfers");
+        assert!(mesh.requests.iter().all(|r| r.noc_energy_uj > 0.0));
+        assert_eq!(mesh.nodes, 16);
+        assert_eq!(mesh.total_output_tokens, single.total_output_tokens);
+    }
+
+    #[test]
+    fn data_parallel_mesh_overlaps_independent_batches() {
+        // Two models' micro-batches cannot share a step on one node, but a
+        // data-parallel pool runs them concurrently.
+        let requests: Vec<Request> = (0..12)
+            .map(|i| {
+                let model = if i % 2 == 0 { ModelId::Llama2_7b } else { ModelId::Llama2_13b };
+                Request::new(model, 200, 8)
+            })
+            .collect();
+        let run = |placement: Placement| {
+            let mut ex = Executor::with_placement(
+                MugiAccelerator::new(128),
+                Scheduler::new(SchedulerConfig::default()),
+                ExecutorConfig::default(),
+                placement,
+            );
+            for r in &requests {
+                ex.submit(*r);
+            }
+            ex.run()
+        };
+        let single = run(Placement::single_node());
+        let dp = run(Placement::data_parallel(NocConfig { rows: 2, cols: 1 }));
+        assert!(
+            dp.throughput_tokens_per_s > single.throughput_tokens_per_s * 1.5,
+            "two models on two nodes should overlap: {} vs {}",
+            dp.throughput_tokens_per_s,
+            single.throughput_tokens_per_s
+        );
+        assert!(dp.noc_energy_uj > 0.0, "shipping batches to nodes crosses the mesh");
+        assert_eq!(dp.total_output_tokens, single.total_output_tokens);
+        // Both nodes did real work.
+        assert!(dp.node_busy_cycles.iter().all(|&b| b > 0), "{:?}", dp.node_busy_cycles);
     }
 }

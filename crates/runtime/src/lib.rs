@@ -11,10 +11,15 @@
 //! * [`scheduler`] — the continuous-batching [`Scheduler`]: decode-first
 //!   micro-batches under `max_batch`/`token_budget` caps, chunked prefill,
 //!   FCFS or shortest-prefill-first admission, round-robin across models;
-//! * [`executor`] — the [`Executor`] drives a
-//!   [`MugiAccelerator`](mugi::MugiAccelerator) over the scheduled
+//! * [`placement`] — how micro-batches map onto a NoC mesh of nodes:
+//!   [`Placement`] (data-parallel or sharded over a
+//!   [`NocConfig`](mugi::arch::noc::NocConfig)) plus the [`NodePool`] of
+//!   per-node clocks;
+//! * [`executor`] — the [`Executor`] drives one or many
+//!   [`MugiAccelerator`](mugi::MugiAccelerator) nodes over the scheduled
 //!   micro-batches (composed into mixed prefill/decode operator traces,
-//!   cached per shape) and keeps per-request cycle/energy accounting;
+//!   cached per shape), charges NoC transfer energy for inter-node movement
+//!   and keeps per-request cycle/energy accounting;
 //! * [`stats`] — TTFT/TPOT/throughput per request plus p50/p95/p99
 //!   aggregates in a [`RuntimeReport`];
 //! * [`workload`] — deterministic synthetic request streams for examples,
@@ -43,12 +48,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod executor;
+pub mod placement;
 pub mod request;
 pub mod scheduler;
 pub mod stats;
 pub mod workload;
 
 pub use executor::{Executor, ExecutorConfig};
+pub use placement::{NodePool, Placement, PlacementPolicy};
 pub use request::{Request, RequestId, Session, SessionState};
 pub use scheduler::{BatchItem, MicroBatch, Scheduler, SchedulerConfig, SchedulingPolicy};
 pub use stats::{Percentiles, RequestStats, RuntimeReport};

@@ -1,0 +1,217 @@
+//! Multi-node placement: how scheduler micro-batches map onto a NoC mesh.
+//!
+//! The paper's multi-node story (Section 4.2 / 6.3.3) connects Mugi nodes by
+//! a 2-D mesh with three physical channels and tiles GEMMs across them with
+//! an output-stationary dataflow. The serving runtime exposes that as two
+//! placement policies:
+//!
+//! * [`PlacementPolicy::DataParallel`] — every micro-batch runs whole on the
+//!   least-loaded node. Nodes execute independent micro-batches
+//!   concurrently (per-node clocks), so throughput scales with the number of
+//!   *independent* batches the scheduler can form; the NoC charges transfer
+//!   energy for shipping each batch's token activations to its node and the
+//!   results back.
+//! * [`PlacementPolicy::Sharded`] — every micro-batch's GEMM trace is tiled
+//!   evenly across *all* nodes (the paper's inter-node accumulation mode):
+//!   step latency shrinks by the mesh's near-linear throughput multiplier
+//!   while [`NocConfig::transfer_energy_pj`] charges the activation /
+//!   partial-sum movement between nodes.
+//!
+//! A 1×1 mesh degenerates to the single-node executor under either policy —
+//! bit-identical reports, zero NoC energy.
+
+use mugi::arch::noc::NocConfig;
+use serde::{Deserialize, Serialize};
+
+/// How micro-batches are placed onto the nodes of the mesh.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Whole micro-batches on the least-loaded node (inter-batch
+    /// parallelism).
+    DataParallel,
+    /// Every micro-batch tiled across all nodes with inter-node accumulation
+    /// (intra-batch parallelism).
+    Sharded,
+}
+
+impl PlacementPolicy {
+    /// Short label used in sweep tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlacementPolicy::DataParallel => "data-parallel",
+            PlacementPolicy::Sharded => "sharded",
+        }
+    }
+}
+
+/// A mesh plus the policy placing micro-batches onto it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Placement {
+    /// The 2-D mesh the nodes form.
+    pub noc: NocConfig,
+    /// The placement policy.
+    pub policy: PlacementPolicy,
+}
+
+impl Placement {
+    /// A single node (the degenerate 1×1 mesh); policy is irrelevant.
+    pub fn single_node() -> Self {
+        Placement { noc: NocConfig::single(), policy: PlacementPolicy::DataParallel }
+    }
+
+    /// Data-parallel placement over `noc`.
+    pub fn data_parallel(noc: NocConfig) -> Self {
+        Placement { noc, policy: PlacementPolicy::DataParallel }
+    }
+
+    /// Sharded (intra-batch tiled) placement over `noc`.
+    pub fn sharded(noc: NocConfig) -> Self {
+        Placement { noc, policy: PlacementPolicy::Sharded }
+    }
+
+    /// Number of nodes in the mesh.
+    pub fn nodes(&self) -> usize {
+        self.noc.nodes()
+    }
+
+    /// Label such as `4x4 sharded`.
+    pub fn label(&self) -> String {
+        format!("{} {}", self.noc.label(), self.policy.label())
+    }
+}
+
+impl Default for Placement {
+    fn default() -> Self {
+        Placement::single_node()
+    }
+}
+
+/// The pool of per-node clocks the executor dispatches onto.
+///
+/// Each node tracks when it becomes free, how many cycles it spent busy and
+/// how many micro-batches it participated in. Under [`PlacementPolicy::
+/// Sharded`] every dispatch occupies the whole pool (the batch is tiled
+/// across all nodes); under [`PlacementPolicy::DataParallel`] each dispatch
+/// occupies one node.
+#[derive(Clone, Debug)]
+pub struct NodePool {
+    free_at: Vec<u64>,
+    busy_cycles: Vec<u64>,
+    steps: Vec<u64>,
+}
+
+impl NodePool {
+    /// Creates a pool of `nodes` idle nodes at cycle zero.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "a node pool needs at least one node");
+        NodePool { free_at: vec![0; nodes], busy_cycles: vec![0; nodes], steps: vec![0; nodes] }
+    }
+
+    /// Number of nodes in the pool.
+    pub fn len(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// A pool is never empty (construction requires at least one node).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The node among `idle` with the earliest free time (ties to the lowest
+    /// index), or `None` if `idle` yields nothing.
+    pub fn earliest(&self, idle: impl Iterator<Item = usize>) -> Option<usize> {
+        idle.min_by_key(|&i| (self.free_at[i], i))
+    }
+
+    /// When node `i` becomes free.
+    pub fn free_at(&self, i: usize) -> u64 {
+        self.free_at[i]
+    }
+
+    /// Cycles node `i` spent executing micro-batches.
+    pub fn busy_cycles(&self, i: usize) -> u64 {
+        self.busy_cycles[i]
+    }
+
+    /// Per-node busy cycles.
+    pub fn busy(&self) -> &[u64] {
+        &self.busy_cycles
+    }
+
+    /// Micro-batches node `i` participated in.
+    pub fn steps(&self, i: usize) -> u64 {
+        self.steps[i]
+    }
+
+    /// Per-node clocks (free times).
+    pub fn clocks(&self) -> &[u64] {
+        &self.free_at
+    }
+
+    /// Occupies node `i` with a batch running `[start, start + cycles)`.
+    pub fn dispatch_one(&mut self, i: usize, start: u64, cycles: u64) {
+        debug_assert!(self.free_at[i] <= start, "node dispatched before it is free");
+        self.free_at[i] = start + cycles;
+        self.busy_cycles[i] += cycles;
+        self.steps[i] += 1;
+    }
+
+    /// Occupies every node with a gang-scheduled (sharded) batch running
+    /// `[start, start + cycles)`.
+    pub fn dispatch_all(&mut self, start: u64, cycles: u64) {
+        for i in 0..self.len() {
+            self.dispatch_one(i, start, cycles);
+        }
+    }
+
+    /// Advances an idle node's clock to `cycle` (waiting costs no busy
+    /// time). No-op if the node is already past it.
+    pub fn wait_until(&mut self, i: usize, cycle: u64) {
+        if self.free_at[i] < cycle {
+            self.free_at[i] = cycle;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_labels_and_nodes() {
+        assert_eq!(Placement::single_node().nodes(), 1);
+        assert_eq!(Placement::sharded(NocConfig::mesh_4x4()).nodes(), 16);
+        assert_eq!(Placement::sharded(NocConfig::mesh_4x4()).label(), "4x4 sharded");
+        assert_eq!(Placement::data_parallel(NocConfig::mesh_8x8()).label(), "8x8 data-parallel");
+        assert_eq!(Placement::default(), Placement::single_node());
+    }
+
+    #[test]
+    fn pool_tracks_clocks_busy_and_steps() {
+        let mut pool = NodePool::new(3);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.earliest(0..3), Some(0));
+        pool.dispatch_one(0, 0, 100);
+        assert_eq!(pool.free_at(0), 100);
+        assert_eq!(pool.earliest([1, 2].into_iter()), Some(1));
+        pool.dispatch_one(1, 50, 25);
+        assert_eq!(pool.earliest(0..3).unwrap(), 2);
+        pool.wait_until(2, 80);
+        assert_eq!(pool.free_at(2), 80);
+        assert_eq!(pool.busy_cycles(2), 0, "waiting is not busy time");
+        pool.dispatch_all(100, 10);
+        assert!(pool.clocks().iter().all(|&c| c == 110));
+        assert_eq!(pool.steps(0), 2);
+        assert_eq!(pool.steps(2), 1);
+        assert_eq!(pool.busy(), &[110, 35, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_pool_rejected() {
+        NodePool::new(0);
+    }
+}

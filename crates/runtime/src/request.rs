@@ -84,6 +84,12 @@ pub struct Session {
     pub first_token_cycle: Option<u64>,
     /// Cycle at which the last output token became available.
     pub finish_cycle: Option<u64>,
+    /// Earliest cycle at which the session may next be scheduled: the arrival
+    /// cycle until the session first runs, then the completion cycle of its
+    /// latest micro-batch. Keeps multi-node executors causal — a decode step
+    /// cannot start on one node before the step that produced its input
+    /// token finished on another.
+    pub ready_cycle: u64,
 }
 
 impl Session {
@@ -97,6 +103,7 @@ impl Session {
             generated_tokens: 0,
             first_token_cycle: None,
             finish_cycle: None,
+            ready_cycle: request.arrival_cycle,
         }
     }
 
@@ -116,10 +123,11 @@ impl Session {
         self.state == SessionState::Finished
     }
 
-    /// Whether the session has schedulable work at `now` (arrived, and either
-    /// still prefilling or still decoding).
+    /// Whether the session has schedulable work at `now` (arrived, not mid
+    /// micro-batch on another node, and either still prefilling or still
+    /// decoding).
     pub fn is_runnable(&self, now: u64) -> bool {
-        !self.is_finished() && self.request.arrival_cycle <= now
+        !self.is_finished() && self.ready_cycle <= now
     }
 }
 

@@ -15,14 +15,23 @@
 //!    `prefill_chunk` tokens, so one long prompt cannot monopolise a step
 //!    (chunked prefill).
 //!
-//! When several models have runnable work the scheduler round-robins between
-//! them across micro-batches, which bounds every model's wait by the number
-//! of active models.
+//! When several models have runnable work the scheduler serves the
+//! least-recently-served one, which bounds every model's wait by the number
+//! of active models even as models join and leave the runnable set between
+//! calls (a modulo round-robin over that shifting set could skip a model
+//! indefinitely).
+//!
+//! Internally the scheduler keeps per-model queues of *released* unfinished
+//! sessions plus a retired counter, so each call touches only in-flight
+//! work — not every session ever submitted. Sessions scheduled into a
+//! micro-batch are marked in flight until the batch completes, which lets a
+//! multi-node executor overlap several micro-batches safely.
 
 use crate::request::{Request, RequestId, Session, SessionState};
 use mugi_workloads::models::ModelId;
 use mugi_workloads::ops::{BatchSlice, Phase};
 use serde::{Deserialize, Serialize};
+use std::collections::{HashSet, VecDeque};
 
 /// Order in which waiting prompts are admitted to the prefill share of a
 /// micro-batch.
@@ -141,12 +150,64 @@ impl MicroBatch {
     }
 }
 
+/// Per-model queues of *released* (arrived) unfinished sessions. Keeping
+/// membership incremental means each scheduling decision touches only the
+/// model's in-flight sessions, not every session ever submitted.
+#[derive(Clone, Debug)]
+struct ModelQueue {
+    model: ModelId,
+    /// Sessions still prefilling, sorted by id (submission order = FCFS).
+    waiting: Vec<RequestId>,
+    /// Sessions decoding, sorted by id (oldest generation first).
+    decoding: Vec<RequestId>,
+    /// Serve-counter value when this model last headed a micro-batch
+    /// (0 = never served). The scheduler picks the least-recently-served
+    /// runnable model, which is starvation-free even as the runnable set
+    /// grows and shrinks between calls.
+    last_served: u64,
+}
+
+impl ModelQueue {
+    fn new(model: ModelId) -> Self {
+        ModelQueue { model, waiting: Vec::new(), decoding: Vec::new(), last_served: 0 }
+    }
+}
+
+/// Inserts `id` into a vec kept sorted ascending, ignoring duplicates.
+fn sorted_insert(ids: &mut Vec<RequestId>, id: RequestId) {
+    if let Err(pos) = ids.binary_search(&id) {
+        ids.insert(pos, id);
+    }
+}
+
+/// Removes `id` from a sorted vec if present.
+fn sorted_remove(ids: &mut Vec<RequestId>, id: RequestId) {
+    if let Ok(pos) = ids.binary_search(&id) {
+        ids.remove(pos);
+    }
+}
+
 /// The continuous-batching scheduler.
 #[derive(Clone, Debug)]
 pub struct Scheduler {
     config: SchedulerConfig,
     sessions: Vec<Session>,
-    round_robin: usize,
+    /// Per-model queues of released unfinished sessions, in first-submission
+    /// order of their models.
+    queues: Vec<ModelQueue>,
+    /// `(arrival_cycle, id)` of submitted sessions not yet released into the
+    /// queues, sorted ascending by arrival: in-order submissions (the normal
+    /// case) append in O(1) and each release pops from the front.
+    future: VecDeque<(u64, RequestId)>,
+    /// Sessions inside an emitted-but-not-yet-completed micro-batch. A
+    /// multi-node executor overlaps several micro-batches; their sessions
+    /// must not be scheduled twice.
+    in_flight: HashSet<RequestId>,
+    /// Sessions that have finished (retired from the queues). `all_finished`
+    /// is a counter comparison, not a scan.
+    retired: usize,
+    /// Monotone counter driving the least-recently-served model rotation.
+    serve_counter: u64,
 }
 
 impl Scheduler {
@@ -156,7 +217,15 @@ impl Scheduler {
     /// Panics if any configured cap is zero.
     pub fn new(config: SchedulerConfig) -> Self {
         config.validate();
-        Scheduler { config, sessions: Vec::new(), round_robin: 0 }
+        Scheduler {
+            config,
+            sessions: Vec::new(),
+            queues: Vec::new(),
+            future: VecDeque::new(),
+            in_flight: HashSet::new(),
+            retired: 0,
+            serve_counter: 0,
+        }
     }
 
     /// The configuration the scheduler runs under.
@@ -168,6 +237,13 @@ impl Scheduler {
     pub fn submit(&mut self, request: Request) -> RequestId {
         let id = RequestId(self.sessions.len() as u64);
         self.sessions.push(Session::new(id, request));
+        let arrival = request.arrival_cycle;
+        if self.future.back().is_none_or(|&(a, _)| a <= arrival) {
+            self.future.push_back((arrival, id));
+        } else {
+            let pos = self.future.partition_point(|&(a, _)| a <= arrival);
+            self.future.insert(pos, (arrival, id));
+        }
         id
     }
 
@@ -186,83 +262,145 @@ impl Scheduler {
 
     /// Whether every submitted session has finished.
     pub fn all_finished(&self) -> bool {
-        self.sessions.iter().all(Session::is_finished)
+        self.retired == self.sessions.len()
     }
 
     /// Number of finished sessions.
     pub fn finished_count(&self) -> usize {
-        self.sessions.iter().filter(|s| s.is_finished()).count()
+        self.retired
     }
 
-    /// Earliest arrival cycle strictly after `now` among unfinished sessions
-    /// (the executor jumps the clock there when nothing is runnable yet).
+    /// Number of sessions currently inside an emitted-but-not-completed
+    /// micro-batch.
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Earliest cycle strictly after `now` at which an unfinished session
+    /// becomes schedulable: a future arrival, or the `ready_cycle` a session
+    /// was stamped with when its latest micro-batch completed. The executor
+    /// jumps an idle node's clock there when nothing is runnable yet.
+    /// Sessions inside a dispatched-but-uncompleted batch are *not* visible
+    /// here — their next ready time is only known once
+    /// [`Scheduler::complete`] runs, so an executor must drain pending
+    /// completions before relying on this.
     pub fn next_arrival_after(&self, now: u64) -> Option<u64> {
-        self.sessions
+        // Unreleased sessions become ready at their arrival. `future` is
+        // sorted ascending, so scan from the front (smallest arrival) past
+        // any entries at or before `now`.
+        let pending =
+            self.future.iter().map(|&(arrival, _)| arrival).find(|&arrival| arrival > now);
+        // Released sessions become ready at their `ready_cycle`; the queues
+        // hold only unfinished sessions, so this scan is in-flight-sized.
+        let queued = self
+            .queues
             .iter()
-            .filter(|s| !s.is_finished() && s.request.arrival_cycle > now)
-            .map(|s| s.request.arrival_cycle)
-            .min()
+            .flat_map(|q| q.waiting.iter().chain(q.decoding.iter()))
+            .map(|id| self.sessions[id.0 as usize].ready_cycle)
+            .filter(|&ready| ready > now)
+            .min();
+        match (pending, queued) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Moves every submitted session whose arrival is at or before `now`
+    /// into its model queue.
+    fn release_arrivals(&mut self, now: u64) {
+        while let Some(&(arrival, id)) = self.future.front() {
+            if arrival > now {
+                break;
+            }
+            self.future.pop_front();
+            let model = self.sessions[id.0 as usize].request.model;
+            let queue = match self.queues.iter_mut().find(|q| q.model == model) {
+                Some(queue) => queue,
+                None => {
+                    self.queues.push(ModelQueue::new(model));
+                    self.queues.last_mut().expect("queue just pushed")
+                }
+            };
+            sorted_insert(&mut queue.waiting, id);
+        }
+    }
+
+    /// Whether `id` may be scheduled at `now`.
+    fn schedulable(&self, id: RequestId, now: u64) -> bool {
+        !self.in_flight.contains(&id) && self.sessions[id.0 as usize].is_runnable(now)
     }
 
     /// Assembles the next micro-batch at simulated cycle `now`, or `None`
-    /// when no session has runnable work (all finished, or only future
-    /// arrivals remain).
+    /// when no session has runnable work (all finished, everything runnable
+    /// already in flight, or only future arrivals remain). Scheduled
+    /// sessions are marked in flight until [`Scheduler::complete`] is called
+    /// for the batch, so overlapping micro-batches on different nodes never
+    /// share a session.
     pub fn next_micro_batch(&mut self, now: u64) -> Option<MicroBatch> {
-        // Round-robin over the models that currently have runnable work,
-        // ordered by their oldest runnable session.
-        let mut models: Vec<ModelId> = Vec::new();
-        for s in self.sessions.iter().filter(|s| s.is_runnable(now)) {
-            if !models.contains(&s.request.model) {
-                models.push(s.request.model);
-            }
-        }
-        if models.is_empty() {
-            return None;
-        }
-        let model = models[self.round_robin % models.len()];
-        self.round_robin = self.round_robin.wrapping_add(1);
+        self.release_arrivals(now);
+        // Pick the least-recently-served model with runnable work; ties
+        // (e.g. never-served models) go to the oldest runnable session.
+        // Tracking actual service instead of an index into the ever-shifting
+        // runnable set means a model that stays runnable is served within
+        // one rotation, whatever joins or leaves in between.
+        let chosen = self
+            .queues
+            .iter()
+            .enumerate()
+            .filter_map(|(qi, q)| {
+                q.decoding
+                    .iter()
+                    .chain(q.waiting.iter())
+                    .filter(|&&id| self.schedulable(id, now))
+                    .map(|&id| id)
+                    .min()
+                    .map(|oldest| (q.last_served, oldest, qi))
+            })
+            .min()?;
+        let qi = chosen.2;
+        self.serve_counter += 1;
+        self.queues[qi].last_served = self.serve_counter;
+        let model = self.queues[qi].model;
 
         let SchedulerConfig { max_batch, token_budget, prefill_chunk, policy } = self.config;
         let mut items = Vec::new();
         let mut tokens = 0usize;
 
         // 1. Decode slots for every in-flight generation, oldest first.
-        for s in self.sessions.iter().filter(|s| {
-            s.is_runnable(now) && s.request.model == model && s.state == SessionState::Decoding
-        }) {
+        let decoding: Vec<RequestId> = self.queues[qi]
+            .decoding
+            .iter()
+            .copied()
+            .filter(|&id| self.schedulable(id, now))
+            .collect();
+        for id in decoding {
             if items.len() >= max_batch || tokens >= token_budget {
                 break;
             }
-            items.push(BatchItem {
-                id: s.id,
-                phase: Phase::Decode,
-                tokens: 1,
-                context_len: s.kv_len(),
-            });
+            let s = &self.sessions[id.0 as usize];
+            items.push(BatchItem { id, phase: Phase::Decode, tokens: 1, context_len: s.kv_len() });
             tokens += 1;
         }
 
         // 2. Prefill chunks with the remaining budget, in policy order.
-        let mut waiting: Vec<&Session> = self
-            .sessions
+        let mut waiting: Vec<RequestId> = self.queues[qi]
+            .waiting
             .iter()
-            .filter(|s| {
-                s.is_runnable(now)
-                    && s.request.model == model
-                    && s.state == SessionState::Prefilling
-            })
+            .copied()
+            .filter(|&id| self.schedulable(id, now))
             .collect();
         if policy == SchedulingPolicy::ShortestPrefillFirst {
-            waiting.sort_by_key(|s| (s.remaining_prefill(), s.id));
+            waiting.sort_by_key(|&id| (self.sessions[id.0 as usize].remaining_prefill(), id));
         }
-        for s in waiting {
+        for id in waiting {
             if items.len() >= max_batch || tokens >= token_budget {
                 break;
             }
+            let s = &self.sessions[id.0 as usize];
             let room = token_budget - tokens;
             let chunk = s.remaining_prefill().min(prefill_chunk).min(room);
             items.push(BatchItem {
-                id: s.id,
+                id,
                 phase: Phase::Prefill,
                 tokens: chunk,
                 context_len: s.prefilled_tokens + chunk,
@@ -272,6 +410,9 @@ impl Scheduler {
 
         debug_assert!(!items.is_empty(), "a model with runnable work must yield items");
         debug_assert!(tokens <= token_budget, "token budget exceeded");
+        for item in &items {
+            self.in_flight.insert(item.id);
+        }
         Some(MicroBatch { model, items })
     }
 
@@ -279,7 +420,9 @@ impl Scheduler {
     /// `end_cycle`: prefill chunks advance the cached prompt prefix (a
     /// completed prefill emits the first output token), decode slots emit one
     /// token each, and sessions that reach their requested output length
-    /// finish.
+    /// finish and retire from their model queue. Every session of the batch
+    /// leaves the in-flight set and becomes schedulable again at
+    /// `end_cycle`.
     ///
     /// # Panics
     /// Panics if the batch references an id this scheduler did not issue.
@@ -308,6 +451,29 @@ impl Scheduler {
                         s.state = SessionState::Finished;
                         s.finish_cycle = Some(end_cycle);
                     }
+                }
+            }
+            s.ready_cycle = s.ready_cycle.max(end_cycle);
+            let state = s.state;
+            self.in_flight.remove(&item.id);
+            let queue = self
+                .queues
+                .iter_mut()
+                .find(|q| q.model == batch.model)
+                .expect("completed batch's model has a queue");
+            match state {
+                SessionState::Prefilling => {}
+                SessionState::Decoding => {
+                    if item.phase == Phase::Prefill {
+                        // Prefill just completed: move to the decode queue.
+                        sorted_remove(&mut queue.waiting, item.id);
+                        sorted_insert(&mut queue.decoding, item.id);
+                    }
+                }
+                SessionState::Finished => {
+                    sorted_remove(&mut queue.waiting, item.id);
+                    sorted_remove(&mut queue.decoding, item.id);
+                    self.retired += 1;
                 }
             }
         }
@@ -355,6 +521,73 @@ mod tests {
         assert_eq!(batch3.items[0].phase, Phase::Decode);
         assert_eq!(batch3.items[1].id, a);
         assert_eq!(batch3.items[1].phase, Phase::Prefill);
+    }
+
+    #[test]
+    fn no_model_starves_while_the_runnable_set_shifts() {
+        // Regression for the round-robin starvation bug: the old
+        // `round_robin % models.len()` indexed into a runnable-model list
+        // whose size and order changed between calls, so a model could be
+        // skipped repeatedly. Least-recently-served selection must serve
+        // every continuously-runnable model within one rotation, even as
+        // late arrivals reshuffle the set.
+        let models = [ModelId::Llama2_7b, ModelId::Llama2_13b, ModelId::Llama2_70b];
+        let mut sched = Scheduler::new(SchedulerConfig::default());
+        for (i, &m) in models.iter().enumerate() {
+            sched.submit(request(m, 64, 40));
+            // Staggered extra arrivals keep the runnable set shifting.
+            sched.submit(Request::new(m, 64, 40).arriving_at(50 * (i as u64 + 1)));
+        }
+        let mut since_served = vec![0usize; models.len()];
+        let mut now = 0;
+        for _ in 0..60 {
+            let Some(batch) = sched.next_micro_batch(now) else { break };
+            for (mi, m) in models.iter().enumerate() {
+                if *m == batch.model {
+                    since_served[mi] = 0;
+                } else {
+                    since_served[mi] += 1;
+                }
+            }
+            assert!(
+                since_served.iter().all(|&gap| gap <= models.len()),
+                "a runnable model waited longer than one rotation: {since_served:?}"
+            );
+            now += 1;
+            sched.complete(&batch, now);
+        }
+    }
+
+    #[test]
+    fn in_flight_sessions_are_not_rescheduled_until_completed() {
+        // Two overlapping micro-batches (as a multi-node executor would
+        // form) must never share a session; completion frees it again.
+        let mut sched = Scheduler::new(SchedulerConfig::default());
+        let a = sched.submit(request(ModelId::Llama2_7b, 64, 8));
+        let b = sched.submit(request(ModelId::Llama2_7b, 64, 8));
+        let first = sched.next_micro_batch(0).unwrap();
+        assert_eq!(first.items.len(), 2, "both prompts fit one batch");
+        assert_eq!(sched.in_flight_count(), 2);
+        assert!(sched.next_micro_batch(0).is_none(), "everything runnable is in flight");
+        sched.complete(&first, 10);
+        assert_eq!(sched.in_flight_count(), 0);
+        let second = sched.next_micro_batch(10).unwrap();
+        let ids: Vec<RequestId> = second.items.iter().map(|i| i.id).collect();
+        assert!(ids.contains(&a) && ids.contains(&b), "completion frees the sessions");
+    }
+
+    #[test]
+    fn sessions_only_become_runnable_after_their_last_batch_completes() {
+        // Causality across nodes: a decode continuation may not be scheduled
+        // at a cycle earlier than the completion of the step that produced
+        // its input token.
+        let mut sched = Scheduler::new(SchedulerConfig::default());
+        sched.submit(request(ModelId::Llama2_7b, 64, 4));
+        let prefill = sched.next_micro_batch(0).unwrap();
+        sched.complete(&prefill, 500);
+        assert!(sched.next_micro_batch(100).is_none(), "token only exists at cycle 500");
+        assert_eq!(sched.next_arrival_after(100), Some(500));
+        assert!(sched.next_micro_batch(500).is_some());
     }
 
     #[test]

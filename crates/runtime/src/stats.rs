@@ -26,9 +26,13 @@ pub struct RequestStats {
     pub e2e_s: f64,
     /// Output tokens per second of end-to-end latency.
     pub tokens_per_s: f64,
-    /// Energy attributed to this request in µJ (its token share of every
-    /// micro-batch it participated in).
+    /// Compute energy attributed to this request in µJ: its share of every
+    /// micro-batch it participated in, split by token count — except the
+    /// attention energy, which is weighted by attended KV as well.
     pub energy_uj: f64,
+    /// NoC transfer energy attributed to this request in µJ (inter-node
+    /// activation / accumulation movement; zero on a single node).
+    pub noc_energy_uj: f64,
     /// Micro-batches the request participated in.
     pub micro_batches: u64,
 }
@@ -86,6 +90,16 @@ pub struct RuntimeReport {
     pub tpot: Percentiles,
     /// Operator traces cached by the accelerator at the end of the run.
     pub trace_cache_entries: usize,
+    /// Accelerator nodes the run executed on (1 for the single-node
+    /// executor).
+    pub nodes: usize,
+    /// Mesh label such as `1x1` or `4x4`.
+    pub noc: String,
+    /// Total NoC transfer energy in µJ across the run (zero on one node).
+    pub noc_energy_uj: f64,
+    /// Cycles each node spent executing micro-batches (never exceeds the
+    /// makespan).
+    pub node_busy_cycles: Vec<u64>,
 }
 
 impl RuntimeReport {
@@ -95,16 +109,32 @@ impl RuntimeReport {
     }
 }
 
+impl RuntimeReport {
+    /// Per-node utilization: busy cycles over the makespan (all zero for an
+    /// empty run).
+    pub fn node_utilization(&self, frequency_hz: f64) -> Vec<f64> {
+        let makespan_cycles = self.makespan_s * frequency_hz;
+        self.node_busy_cycles
+            .iter()
+            .map(|&b| if makespan_cycles > 0.0 { b as f64 / makespan_cycles } else { 0.0 })
+            .collect()
+    }
+}
+
 impl fmt::Display for RuntimeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} requests, {} tokens in {:.1} s simulated — {:.2} tokens/s over {} micro-batches",
+            "{} requests, {} tokens in {:.1} s simulated — {:.2} tokens/s over {} micro-batches \
+             on {} node(s) ({} mesh, NoC energy {:.3} µJ)",
             self.requests.len(),
             self.total_output_tokens,
             self.makespan_s,
             self.throughput_tokens_per_s,
             self.micro_batches,
+            self.nodes,
+            self.noc,
+            self.noc_energy_uj,
         )?;
         writeln!(
             f,
@@ -151,11 +181,21 @@ mod tests {
             ttft: Percentiles { p50: 0.001, p95: 0.002, p99: 0.003 },
             tpot: Percentiles { p50: 0.0001, p95: 0.0002, p99: 0.0003 },
             trace_cache_entries: 7,
+            nodes: 16,
+            noc: "4x4".to_string(),
+            noc_energy_uj: 1.5,
+            node_busy_cycles: vec![100_000_000; 16],
         };
         let text = report.to_string();
         assert!(text.contains("2000.00 tokens/s"));
         assert!(text.contains("TTFT"));
         assert!(text.contains("42 micro-batches"));
         assert!(text.contains("7 entries"));
+        assert!(text.contains("16 node(s)"));
+        assert!(text.contains("4x4 mesh"));
+        // Utilization: 1e8 busy cycles of a 0.5 s makespan at 400 MHz = 0.5.
+        let util = report.node_utilization(400e6);
+        assert_eq!(util.len(), 16);
+        assert!(util.iter().all(|&u| (u - 0.5).abs() < 1e-9), "{util:?}");
     }
 }

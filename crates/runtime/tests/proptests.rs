@@ -1,8 +1,14 @@
-//! Property tests for the continuous-batching scheduler: liveness (no
-//! request starves), the micro-batch caps (token budget, max batch), and
-//! exact output-token accounting.
+//! Property tests for the continuous-batching scheduler and the multi-node
+//! placement layer: liveness (no request starves), the micro-batch caps
+//! (token budget, max batch), exact output-token accounting, and the
+//! placement invariants (token conservation, per-node clocks bounded by the
+//! makespan, 1×1 placement bit-identical to the single-node executor).
 
-use mugi_runtime::{Request, Scheduler, SchedulerConfig, SchedulingPolicy};
+use mugi::arch::noc::NocConfig;
+use mugi::MugiAccelerator;
+use mugi_runtime::{
+    Executor, ExecutorConfig, Placement, Request, Scheduler, SchedulerConfig, SchedulingPolicy,
+};
 use mugi_workloads::models::ModelId;
 use proptest::prelude::*;
 
@@ -14,6 +20,20 @@ prop_compose! {
         arrival in 0u64..500,
     ) -> Request {
         let models = [ModelId::Llama2_7b, ModelId::Llama2_13b, ModelId::Llama2_70b];
+        Request::new(models[model_idx], prompt, output).arriving_at(arrival)
+    }
+}
+
+// Small workloads for the end-to-end placement properties, which run a full
+// executor simulation per case.
+prop_compose! {
+    fn small_request_strategy()(
+        model_idx in 0usize..2,
+        prompt in 1usize..120,
+        output in 1usize..8,
+        arrival in 0u64..200,
+    ) -> Request {
+        let models = [ModelId::Llama2_7b, ModelId::Llama2_13b];
         Request::new(models[model_idx], prompt, output).arriving_at(arrival)
     }
 }
@@ -91,6 +111,82 @@ proptest! {
             prop_assert!(first >= s.request.arrival_cycle);
             prop_assert!(finish >= first);
         }
+    }
+
+    #[test]
+    fn multi_node_placement_conserves_tokens_and_respects_the_makespan(
+        requests in prop::collection::vec(small_request_strategy(), 1..10),
+        sharded in any::<bool>(),
+        rows in 1usize..3,
+        cols in 1usize..3,
+    ) {
+        let noc = NocConfig { rows, cols };
+        let placement =
+            if sharded { Placement::sharded(noc) } else { Placement::data_parallel(noc) };
+        let mut ex = Executor::with_placement(
+            MugiAccelerator::new(64),
+            Scheduler::new(SchedulerConfig::default()),
+            ExecutorConfig::default(),
+            placement,
+        );
+        for r in &requests {
+            ex.submit(*r);
+        }
+        let report = ex.run();
+        // Sharded / data-parallel execution conserves the workload exactly.
+        let expected: u64 = requests.iter().map(|r| r.output_tokens as u64).sum();
+        prop_assert_eq!(report.total_output_tokens, expected);
+        prop_assert_eq!(report.requests.len(), requests.len());
+        for s in ex.scheduler().sessions() {
+            prop_assert_eq!(s.generated_tokens, s.request.output_tokens);
+            prop_assert_eq!(s.prefilled_tokens, s.request.prompt_tokens);
+        }
+        // No node's clock or busy time ever exceeds the makespan.
+        let makespan = ex.clock_cycles();
+        prop_assert_eq!(report.node_busy_cycles.len(), noc.nodes());
+        for &clock in ex.node_clocks() {
+            prop_assert!(clock <= makespan, "node clock {clock} > makespan {makespan}");
+        }
+        for &busy in &report.node_busy_cycles {
+            prop_assert!(busy <= makespan, "node busy {busy} > makespan {makespan}");
+        }
+        // NoC energy flows exactly when the mesh is real.
+        if noc.nodes() == 1 {
+            prop_assert_eq!(report.noc_energy_uj, 0.0);
+        } else {
+            prop_assert!(report.noc_energy_uj > 0.0);
+        }
+    }
+
+    #[test]
+    fn single_node_placements_are_bit_identical(
+        requests in prop::collection::vec(small_request_strategy(), 1..8),
+        spf in any::<bool>(),
+    ) {
+        let policy =
+            if spf { SchedulingPolicy::ShortestPrefillFirst } else { SchedulingPolicy::Fcfs };
+        let config = SchedulerConfig { policy, ..SchedulerConfig::default() };
+        let run = |placement: Option<Placement>| {
+            let accel = MugiAccelerator::new(64);
+            let sched = Scheduler::new(config);
+            let mut ex = match placement {
+                None => Executor::new(accel, sched),
+                Some(p) => {
+                    Executor::with_placement(accel, sched, ExecutorConfig::default(), p)
+                }
+            };
+            for r in &requests {
+                ex.submit(*r);
+            }
+            ex.run()
+        };
+        // The plain single-node executor and both 1×1 placements must agree
+        // bit for bit, down to every per-request float.
+        let base = run(None);
+        let one_by_one = run(Some(Placement::single_node()));
+        let sharded = run(Some(Placement::sharded(NocConfig::single())));
+        prop_assert_eq!(&base, &one_by_one);
+        prop_assert_eq!(&base, &sharded);
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! End-to-end serving integration: 64 concurrent requests across two models
 //! through the scheduler → executor → accelerator pipeline.
 
+use mugi::arch::noc::NocConfig;
 use mugi::MugiAccelerator;
 use mugi_numerics::exec::ExecutionContext;
 use mugi_runtime::{
-    synthetic_requests, Executor, Scheduler, SchedulerConfig, SchedulingPolicy, WorkloadSpec,
+    synthetic_requests, Executor, ExecutorConfig, Placement, Scheduler, SchedulerConfig,
+    SchedulingPolicy, WorkloadSpec,
 };
 use mugi_workloads::models::ModelId;
 
@@ -54,6 +56,41 @@ fn both_policies_generate_the_same_tokens() {
     assert_eq!(fcfs.total_output_tokens, spf.total_output_tokens);
     assert_eq!(fcfs.requests.len(), spf.requests.len());
     assert!(spf.ttft.p50 > 0.0);
+}
+
+#[test]
+fn sharded_mesh_serves_the_same_workload_much_faster() {
+    let requests = synthetic_requests(7, 64, &MODELS, WorkloadSpec::default());
+    let run = |placement: Placement| {
+        let mut engine = Executor::with_placement(
+            MugiAccelerator::new(256),
+            Scheduler::new(SchedulerConfig::default()),
+            ExecutorConfig::default(),
+            placement,
+        );
+        for r in &requests {
+            engine.submit(*r);
+        }
+        engine.run()
+    };
+    let single = run(Placement::single_node());
+    let mesh = run(Placement::sharded(NocConfig::mesh_4x4()));
+    // Same tokens, same finished requests, near-linear throughput scaling.
+    assert_eq!(mesh.total_output_tokens, single.total_output_tokens);
+    assert_eq!(mesh.requests.len(), single.requests.len());
+    let speedup = mesh.throughput_tokens_per_s / single.throughput_tokens_per_s;
+    assert!(speedup > 12.0 && speedup <= 16.0, "4x4 serving speedup {speedup}");
+    // The NoC transfer model charges every request for inter-node movement.
+    assert_eq!(single.noc_energy_uj, 0.0);
+    assert!(mesh.noc_energy_uj > 0.0);
+    assert!(mesh.requests.iter().all(|r| r.noc_energy_uj > 0.0));
+    // Latency milestones stay ordered under overlapped execution.
+    for r in &mesh.requests {
+        assert!(r.ttft_s > 0.0 && r.e2e_s >= r.ttft_s);
+    }
+    // Every node of the gang was busy for the same cycles.
+    assert_eq!(mesh.node_busy_cycles.len(), 16);
+    assert!(mesh.node_busy_cycles.windows(2).all(|w| w[0] == w[1]));
 }
 
 #[test]
