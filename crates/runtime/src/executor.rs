@@ -25,10 +25,11 @@
 //! attended KV as well — a 4096-context decode slot costs more than a
 //! 64-context one.
 
+use crate::kv::AdmissionError;
 use crate::placement::{NodePool, Placement, PlacementPolicy};
 use crate::request::{Request, RequestId};
 use crate::scheduler::{BatchItem, MicroBatch, Scheduler};
-use crate::stats::{Percentiles, RequestStats, RuntimeReport};
+use crate::stats::{KvStats, Percentiles, RequestStats, RuntimeReport};
 use mugi::arch::cost::CostModel;
 use mugi::MugiAccelerator;
 use serde::{Deserialize, Serialize};
@@ -38,14 +39,24 @@ use serde::{Deserialize, Serialize};
 pub struct ExecutorConfig {
     /// Decode contexts are rounded up to this many KV entries when building
     /// workload slices (the paged-KV view of the cache). Coarser buckets
-    /// mean fewer distinct trace shapes and a hotter trace cache.
+    /// mean fewer distinct trace shapes and a hotter trace cache. Under a
+    /// bounded [`KvConfig`](crate::kv::KvConfig) this must equal the pool's
+    /// `page_tokens`, so the trace-cache view and the page-table view of a
+    /// context agree.
     pub kv_bucket: usize,
+    /// Stall cycles charged per KV page evicted to form a micro-batch: the
+    /// pool-manipulation overhead of a preemption (tearing down the victim's
+    /// table and faulting the requester's growth in). The victim's much
+    /// larger recompute cost is paid separately, by actually re-executing
+    /// its prefill. Zero evictions — in particular any unbounded pool —
+    /// charge nothing.
+    pub fault_stall_cycles: u64,
 }
 
 impl Default for ExecutorConfig {
-    /// 128-entry KV pages.
+    /// 128-entry KV pages, 256-cycle page faults.
     fn default() -> Self {
-        ExecutorConfig { kv_bucket: 128 }
+        ExecutorConfig { kv_bucket: 128, fault_stall_cycles: 256 }
     }
 }
 
@@ -81,6 +92,12 @@ pub struct Executor {
     clock_cycles: u64,
     steps: u64,
     accounting: Vec<Accounting>,
+    /// Whether each node has its own KV pool (bounded data-parallel
+    /// placement): dispatch must then consider every idle node, since a
+    /// session may only run where its pages live.
+    multi_pool: bool,
+    /// Page-fault stall cycles charged so far.
+    fault_stall_cycles: u64,
 }
 
 impl Executor {
@@ -111,11 +128,29 @@ impl Executor {
     /// Panics if `kv_bucket` is zero.
     pub fn with_placement(
         accel: MugiAccelerator,
-        scheduler: Scheduler,
+        mut scheduler: Scheduler,
         config: ExecutorConfig,
         placement: Placement,
     ) -> Self {
         assert!(config.kv_bucket > 0, "kv_bucket must be non-zero");
+        let bounded = scheduler.kv_config().is_bounded();
+        if bounded {
+            assert_eq!(
+                scheduler.kv_config().page_tokens,
+                config.kv_bucket,
+                "the KV pool's page_tokens must equal the executor's kv_bucket: a page and a \
+                 trace bucket are the same granularity"
+            );
+        }
+        // Partition the bounded KV capacity to match the placement: each
+        // data-parallel node owns its pages; a sharded mesh tiles every
+        // session's KV across all nodes, so it forms one aggregate pool.
+        match placement.policy {
+            PlacementPolicy::DataParallel => scheduler.configure_kv_pools(placement.nodes(), 1),
+            PlacementPolicy::Sharded => scheduler.configure_kv_pools(1, placement.nodes()),
+        }
+        let multi_pool =
+            bounded && placement.policy == PlacementPolicy::DataParallel && placement.nodes() > 1;
         // The scheduler may already hold sessions submitted before the
         // executor was constructed; give each one an accounting slot.
         let accounting = vec![Accounting::default(); scheduler.sessions().len()];
@@ -132,13 +167,30 @@ impl Executor {
             clock_cycles: 0,
             steps: 0,
             accounting,
+            multi_pool,
+            fault_stall_cycles: 0,
         }
     }
 
     /// Submits a request to the underlying scheduler.
+    ///
+    /// # Panics
+    /// Panics if admission control rejects the request (only possible under
+    /// a bounded [`KvConfig`](crate::kv::KvConfig)); use
+    /// [`Executor::try_submit`] to treat rejection as backpressure.
     pub fn submit(&mut self, request: Request) -> RequestId {
+        let id = self.scheduler.submit(request);
         self.accounting.push(Accounting::default());
-        self.scheduler.submit(request)
+        id
+    }
+
+    /// Submits a request unless the scheduler's admission control rejects
+    /// it (queue depth bound reached, or the request could never fit the KV
+    /// pool). Rejections are counted in the report's KV statistics.
+    pub fn try_submit(&mut self, request: Request) -> Result<RequestId, AdmissionError> {
+        let id = self.scheduler.try_submit(request)?;
+        self.accounting.push(Accounting::default());
+        Ok(id)
     }
 
     /// The scheduler (sessions, progress, configuration).
@@ -172,6 +224,27 @@ impl Executor {
         self.steps
     }
 
+    /// Page-fault stall cycles charged so far (zero under an unbounded KV
+    /// pool).
+    pub fn fault_stall_cycles(&self) -> u64 {
+        self.fault_stall_cycles
+    }
+
+    /// Free KV pages of the pool node `i` allocates from, or `None` under an
+    /// unbounded configuration.
+    pub fn kv_free_pages(&self, i: usize) -> Option<usize> {
+        self.scheduler.kv_free_pages(self.pool_for(i))
+    }
+
+    /// The KV pool node `i` allocates from: its own under data-parallel
+    /// placement, the single aggregate pool under sharded placement.
+    fn pool_for(&self, i: usize) -> usize {
+        match self.placement.policy {
+            PlacementPolicy::DataParallel => i,
+            PlacementPolicy::Sharded => 0,
+        }
+    }
+
     /// Whether node `i` currently executes an in-flight batch.
     fn occupied(&self, i: usize) -> bool {
         match self.placement.policy {
@@ -198,23 +271,37 @@ impl Executor {
     /// batch still executing on another node), the idle node's clock jumps
     /// forward and execution continues.
     ///
+    /// With per-node KV pools (bounded data-parallel placement) dispatch
+    /// considers every idle node, earliest clock first and — on equal
+    /// clocks — most free pages first: a session pinned to a node's pool
+    /// can only run there, so a node needs both clock headroom *and* free
+    /// pages to win a batch. With an unbounded pool (or a single pool) only
+    /// the earliest idle node is consulted, which is exactly the pre-paging
+    /// behaviour.
+    ///
     /// # Panics
     /// Panics if unfinished sessions exist but neither runnable work, nor an
     /// executing batch, nor a future arrival does (a scheduler invariant
     /// violation).
     pub fn step(&mut self) -> bool {
-        loop {
+        'outer: loop {
             if self.in_flight.is_empty() && self.scheduler.all_finished() {
                 return false;
             }
-            let idle = self.pool.earliest((0..self.pool.len()).filter(|&i| !self.occupied(i)));
-            let Some(node) = idle else {
+            let mut idle: Vec<usize> =
+                (0..self.pool.len()).filter(|&i| !self.occupied(i)).collect();
+            if idle.is_empty() {
                 // Every node is busy: retire the earliest completion first.
                 let idx = self.earliest_completion().expect("busy nodes imply in-flight batches");
                 self.finish(idx);
                 continue;
-            };
-            let now = self.pool.free_at(node);
+            }
+            idle.sort_by_key(|&i| {
+                let free = self.kv_free_pages(i).unwrap_or(usize::MAX);
+                (self.pool.free_at(i), std::cmp::Reverse(free), i)
+            });
+            let primary = idle[0];
+            let now = self.pool.free_at(primary);
             // Completions at or before this node's clock must apply first so
             // the batch formed at `now` sees their effects.
             if let Some(idx) = self.earliest_completion() {
@@ -223,17 +310,31 @@ impl Executor {
                     continue;
                 }
             }
-            if let Some(batch) = self.scheduler.next_micro_batch(now) {
-                self.dispatch(node, batch, now);
-                return true;
+            let tries = if self.multi_pool { idle.len() } else { 1 };
+            for &node in &idle[..tries] {
+                let node_now = self.pool.free_at(node);
+                // Later idle nodes have later clocks; completions in between
+                // must land before a batch forms at that clock.
+                if let Some(idx) = self.earliest_completion() {
+                    if self.in_flight[idx].end <= node_now {
+                        self.finish(idx);
+                        continue 'outer;
+                    }
+                }
+                if let Some(batch) =
+                    self.scheduler.next_micro_batch_on(node_now, self.pool_for(node))
+                {
+                    self.dispatch(node, batch, node_now);
+                    return true;
+                }
             }
-            // Nothing runnable at this node's clock: wait for the next
-            // completion (which may unlock decode work) or jump to the next
-            // arrival.
+            // Nothing runnable on any idle node's clock: wait for the next
+            // completion (which may unlock decode work or free pages) or
+            // jump to the next arrival.
             if let Some(idx) = self.earliest_completion() {
                 let end = self.in_flight[idx].end;
                 self.finish(idx);
-                self.pool.wait_until(node, end);
+                self.pool.wait_until(primary, end);
                 continue;
             }
             let next = self
@@ -277,6 +378,13 @@ impl Executor {
                     (cycles, energy, perf.noc_energy_pj, perf.node.energy_breakdown.attention)
                 }
             };
+        // Preemptions stall the step while the pool is reshuffled: a fixed
+        // fault cost per evicted page, on top of the victims' much larger
+        // recompute cost (paid when their prefills re-execute). Unbounded
+        // pools never evict, so this is exactly zero there.
+        let stall_cycles = batch.evicted_pages as u64 * self.config.fault_stall_cycles;
+        self.fault_stall_cycles += stall_cycles;
+        let step_cycles = step_cycles + stall_cycles;
         let end = start + step_cycles;
         match self.placement.policy {
             PlacementPolicy::DataParallel => self.pool.dispatch_one(node, start, step_cycles),
@@ -353,6 +461,16 @@ impl Executor {
             noc: self.placement.noc.label(),
             noc_energy_uj: self.accounting.iter().map(|a| a.noc_energy_pj).sum::<f64>() * 1e-6,
             node_busy_cycles: self.pool.busy().to_vec(),
+            kv: KvStats {
+                page_tokens: self.scheduler.kv_config().page_tokens,
+                capacity_pages: self.scheduler.kv_capacity_pages(),
+                peak_used_pages: self.scheduler.kv_peak_used_pages(),
+                preemptions: self.scheduler.preemption_count(),
+                reprefill_tokens: self.scheduler.reprefill_token_count(),
+                evicted_pages: self.scheduler.evicted_page_count(),
+                rejected_requests: self.scheduler.rejected_count(),
+                fault_stall_cycles: self.fault_stall_cycles,
+            },
         }
     }
 }

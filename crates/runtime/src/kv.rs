@@ -1,0 +1,396 @@
+//! Paged KV-cache management: the pool of physical pages each node owns and
+//! the per-session page tables that map onto it.
+//!
+//! The serving claims of the paper rest on the KV cache being a first-class,
+//! finite resource. This module models it the way PagedAttention-style
+//! servers do:
+//!
+//! * a [`KvPool`] holds a bounded number of physical *pages*, each covering
+//!   [`KvConfig::page_tokens`] KV entries (the same granularity the executor
+//!   buckets decode contexts at for trace caching);
+//! * every admitted session owns a [`PageTable`] of page handles; prefill
+//!   chunks and decode growth allocate pages from the pool of the node the
+//!   session's KV lives on;
+//! * when the pool runs dry the scheduler *preempts*: the most recently
+//!   admitted page-holder is evicted, drops its pages, re-enters the waiting
+//!   queue and pays re-prefill on readmission (recompute-style preemption).
+//!
+//! An **unbounded** configuration ([`KvConfig::unbounded`], the default)
+//! disables all bookkeeping: no pages are tracked, no session is ever
+//! rejected, deferred or preempted, and the runtime behaves bit-identically
+//! to a world without KV accounting. That makes the bounded path a pure
+//! opt-in and gives the property tests a regression oracle.
+//!
+//! Pool invariants (property-tested in `tests/proptests.rs`):
+//!
+//! * a page is mapped by at most one table at a time (never double-mapped);
+//! * `free + Σ mapped == capacity` after any sequence of operations;
+//! * a table always maps at least [`pages_for`]`(kv_len)` pages while its
+//!   session is live.
+
+use mugi_workloads::models::ModelId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Handle of one physical KV page inside a [`KvPool`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PageId(pub u32);
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Pages needed to hold `tokens` KV entries at `page_tokens` granularity.
+/// Zero tokens still occupy one page — a session's table is never empty
+/// while the session is live, so a zero-context decode maps to exactly one
+/// page (see the boundary regression test in `scheduler.rs`).
+///
+/// # Panics
+/// Panics if `page_tokens` is zero.
+pub fn pages_for(tokens: usize, page_tokens: usize) -> usize {
+    assert!(page_tokens > 0, "page_tokens must be non-zero");
+    tokens.div_ceil(page_tokens).max(1)
+}
+
+/// Static configuration of the paged KV cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KvConfig {
+    /// KV entries per page. Must match the executor's trace-bucketing
+    /// granularity (`ExecutorConfig::kv_bucket`) for the paged view and the
+    /// trace-cache view of a context to agree.
+    pub page_tokens: usize,
+    /// Physical pages per node, or `None` for an unbounded pool (no
+    /// bookkeeping at all — the pre-paging behaviour).
+    pub node_pages: Option<usize>,
+    /// Maximum concurrently live (admitted, unfinished) sessions; further
+    /// [`Scheduler::try_submit`](crate::Scheduler::try_submit) calls are
+    /// rejected — the backpressure signal a workload generator sees. `None`
+    /// admits everything.
+    pub max_live_sessions: Option<usize>,
+}
+
+impl Default for KvConfig {
+    /// Unbounded pool, 128-token pages, no admission bound.
+    fn default() -> Self {
+        KvConfig::unbounded()
+    }
+}
+
+impl KvConfig {
+    /// No capacity limit and no admission bound: bit-identical to a runtime
+    /// without KV accounting.
+    pub fn unbounded() -> Self {
+        KvConfig { page_tokens: 128, node_pages: None, max_live_sessions: None }
+    }
+
+    /// A bounded pool of `node_pages` pages of `page_tokens` KV entries on
+    /// every node.
+    ///
+    /// # Panics
+    /// Panics if `page_tokens` or `node_pages` is zero.
+    pub fn bounded(page_tokens: usize, node_pages: usize) -> Self {
+        assert!(page_tokens > 0, "page_tokens must be non-zero");
+        assert!(node_pages > 0, "node_pages must be non-zero");
+        KvConfig { page_tokens, node_pages: Some(node_pages), max_live_sessions: None }
+    }
+
+    /// Sizes a bounded pool from a per-node KV-byte budget and the dominant
+    /// model's dimensions: `node_pages = budget / bytes-per-page`, where one
+    /// page holds `page_tokens` BF16 KV entries across all layers and KV
+    /// heads of `model`.
+    ///
+    /// # Panics
+    /// Panics if `page_tokens` is zero or the budget is smaller than one
+    /// page.
+    pub fn for_budget(model: ModelId, node_kv_bytes: u64, page_tokens: usize) -> Self {
+        let page_bytes = model.config().kv_cache_bytes(page_tokens, 16).max(1);
+        let pages = node_kv_bytes / page_bytes;
+        assert!(pages > 0, "KV budget of {node_kv_bytes} B holds less than one page");
+        KvConfig::bounded(page_tokens, pages as usize)
+    }
+
+    /// Sets the admission bound on concurrently live sessions.
+    pub fn with_max_live_sessions(mut self, bound: usize) -> Self {
+        assert!(bound > 0, "max_live_sessions must be non-zero");
+        self.max_live_sessions = Some(bound);
+        self
+    }
+
+    /// Whether the pool has a capacity limit.
+    pub fn is_bounded(&self) -> bool {
+        self.node_pages.is_some()
+    }
+}
+
+/// Why a submission was rejected by admission control.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdmissionError {
+    /// The live-session queue is at its configured depth bound; retry after
+    /// some sessions finish.
+    QueueFull {
+        /// Sessions currently live (admitted, unfinished).
+        live: usize,
+        /// The configured bound.
+        bound: usize,
+    },
+    /// The request can never fit: even alone it needs more pages than one
+    /// node's pool holds, so admitting it would deadlock that pool.
+    NeverFits {
+        /// Pages the request needs at its peak (`prompt + output` tokens).
+        needed_pages: usize,
+        /// Pages a single node's pool holds ([`KvConfig::node_pages`]).
+        capacity_pages: usize,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::QueueFull { live, bound } => {
+                write!(f, "admission queue full ({live} live sessions at bound {bound})")
+            }
+            AdmissionError::NeverFits { needed_pages, capacity_pages } => write!(
+                f,
+                "request needs {needed_pages} KV pages but the pool holds only {capacity_pages}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// A bounded pool of physical KV pages (one per node under data-parallel
+/// placement; one aggregate pool under sharded placement).
+///
+/// Pages are handed out from an explicit free list, so a page is never
+/// mapped twice, and `free_pages() + (capacity - free) == capacity` holds by
+/// construction; the interesting invariant — that every *mapped* page is
+/// accounted to exactly one table — is property-tested against random
+/// allocate/release sequences.
+#[derive(Clone, Debug)]
+pub struct KvPool {
+    capacity: usize,
+    /// LIFO free list: recently released pages are reused first, which keeps
+    /// page ids dense and deterministic.
+    free: Vec<PageId>,
+    peak_used: usize,
+}
+
+impl KvPool {
+    /// A pool of `capacity` free pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "a KV pool needs at least one page");
+        // Reversed so page p0 is handed out first (LIFO free list).
+        let free = (0..capacity as u32).rev().map(PageId).collect();
+        KvPool { capacity, free, peak_used: 0 }
+    }
+
+    /// Total pages the pool holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pages currently unmapped.
+    pub fn free_pages(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Pages currently mapped by some table.
+    pub fn used_pages(&self) -> usize {
+        self.capacity - self.free.len()
+    }
+
+    /// High-water mark of mapped pages.
+    pub fn peak_used_pages(&self) -> usize {
+        self.peak_used
+    }
+
+    /// Takes `n` pages from the free list, or `None` (pool unchanged) if
+    /// fewer than `n` are free.
+    pub fn alloc(&mut self, n: usize) -> Option<Vec<PageId>> {
+        if self.free.len() < n {
+            return None;
+        }
+        let pages = self.free.split_off(self.free.len() - n);
+        self.peak_used = self.peak_used.max(self.used_pages());
+        Some(pages)
+    }
+
+    /// Returns pages to the free list.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if releasing would exceed the capacity —
+    /// a sign a page was double-mapped or released twice.
+    pub fn release(&mut self, pages: Vec<PageId>) {
+        debug_assert!(
+            self.free.len() + pages.len() <= self.capacity,
+            "released more pages than the pool holds"
+        );
+        self.free.extend(pages);
+    }
+}
+
+/// The per-session map from a session's KV entries to the physical pages of
+/// the pool its KV lives on.
+///
+/// `home` pins the session to one pool once its first page is allocated:
+/// under data-parallel placement a session's KV physically lives on one
+/// node, so only micro-batches formed for that node may schedule it. The
+/// table forgets its home when it releases all pages (eviction or finish).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageTable {
+    pages: Vec<PageId>,
+    home: Option<usize>,
+}
+
+impl PageTable {
+    /// An empty, homeless table.
+    pub fn new() -> Self {
+        PageTable::default()
+    }
+
+    /// Pages currently mapped.
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The mapped page handles.
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// Pool index the session's KV lives on, or `None` while no page is
+    /// mapped.
+    pub fn home(&self) -> Option<usize> {
+        self.home
+    }
+
+    /// Whether the table may allocate from pool `pool` (homeless, or already
+    /// homed there).
+    pub fn admissible_on(&self, pool: usize) -> bool {
+        self.home.is_none_or(|h| h == pool)
+    }
+
+    /// Grows the table to `target_pages` mapped pages out of `pool`
+    /// (pool index `pool_id`). No-op if the table already maps that many.
+    /// Returns `false` (nothing allocated) if the pool lacks free pages.
+    ///
+    /// # Panics
+    /// Panics if the table is homed to a different pool.
+    pub fn grow(&mut self, pool_id: usize, pool: &mut KvPool, target_pages: usize) -> bool {
+        assert!(self.admissible_on(pool_id), "page table homed to a different pool");
+        let needed = target_pages.saturating_sub(self.pages.len());
+        if needed == 0 {
+            return true;
+        }
+        let Some(mut fresh) = pool.alloc(needed) else {
+            return false;
+        };
+        self.pages.append(&mut fresh);
+        self.home = Some(pool_id);
+        true
+    }
+
+    /// Releases every mapped page back into `pool` and forgets the home.
+    /// Returns how many pages were released.
+    pub fn release_all(&mut self, pool: &mut KvPool) -> usize {
+        let released = self.pages.len();
+        pool.release(std::mem::take(&mut self.pages));
+        self.home = None;
+        released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_for_rounds_up_and_never_returns_zero() {
+        assert_eq!(pages_for(0, 128), 1, "an empty context still owns one page");
+        assert_eq!(pages_for(1, 128), 1);
+        assert_eq!(pages_for(128, 128), 1);
+        assert_eq!(pages_for(129, 128), 2);
+        assert_eq!(pages_for(4096, 128), 32);
+    }
+
+    #[test]
+    fn pool_alloc_release_round_trips_and_tracks_peak() {
+        let mut pool = KvPool::bounded(4);
+        assert_eq!((pool.capacity(), pool.free_pages(), pool.used_pages()), (4, 4, 0));
+        let a = pool.alloc(3).unwrap();
+        assert_eq!(a, vec![PageId(2), PageId(1), PageId(0)]);
+        assert_eq!((pool.free_pages(), pool.used_pages()), (1, 3));
+        assert!(pool.alloc(2).is_none(), "over-allocation must fail");
+        assert_eq!(pool.free_pages(), 1, "failed alloc leaves the pool unchanged");
+        pool.release(a);
+        assert_eq!((pool.free_pages(), pool.used_pages()), (4, 0));
+        assert_eq!(pool.peak_used_pages(), 3);
+    }
+
+    #[test]
+    fn page_table_grows_homes_and_releases() {
+        let mut pool = KvPool::bounded(8);
+        let mut table = PageTable::new();
+        assert_eq!(table.home(), None);
+        assert!(table.admissible_on(0) && table.admissible_on(5));
+        assert!(table.grow(2, &mut pool, 3));
+        assert_eq!(table.mapped_pages(), 3);
+        assert_eq!(table.home(), Some(2));
+        assert!(table.admissible_on(2) && !table.admissible_on(0));
+        // Growing to a smaller or equal target is a no-op.
+        assert!(table.grow(2, &mut pool, 2));
+        assert_eq!(table.mapped_pages(), 3);
+        // Insufficient pool: table unchanged.
+        assert!(!table.grow(2, &mut pool, 9));
+        assert_eq!(table.mapped_pages(), 3);
+        assert_eq!(pool.used_pages(), 3);
+        assert_eq!(table.release_all(&mut pool), 3);
+        assert_eq!(table.home(), None);
+        assert_eq!(pool.free_pages(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "homed to a different pool")]
+    fn cross_pool_growth_rejected() {
+        let mut pool = KvPool::bounded(2);
+        let mut table = PageTable::new();
+        table.grow(0, &mut pool, 1);
+        table.grow(1, &mut pool, 2);
+    }
+
+    #[test]
+    fn config_constructors_and_budget_sizing() {
+        let unbounded = KvConfig::default();
+        assert!(!unbounded.is_bounded());
+        assert_eq!(unbounded.page_tokens, 128);
+        let bounded = KvConfig::bounded(64, 512).with_max_live_sessions(32);
+        assert!(bounded.is_bounded());
+        assert_eq!(bounded.node_pages, Some(512));
+        assert_eq!(bounded.max_live_sessions, Some(32));
+        // Llama 2 7B: one 128-token page is 128 × 2 × 32 × 128 × 32 layers
+        // × 2 B (BF16) = 64 MiB of KV; a 1 GiB budget holds 16 pages.
+        let page_bytes = ModelId::Llama2_7b.config().kv_cache_bytes(128, 16);
+        let budget = KvConfig::for_budget(ModelId::Llama2_7b, 16 * page_bytes, 128);
+        assert_eq!(budget.node_pages, Some(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "less than one page")]
+    fn budget_below_one_page_rejected() {
+        KvConfig::for_budget(ModelId::Llama2_7b, 1024, 128);
+    }
+
+    #[test]
+    fn admission_errors_render() {
+        let q = AdmissionError::QueueFull { live: 8, bound: 8 };
+        assert!(q.to_string().contains("8 live sessions"));
+        let f = AdmissionError::NeverFits { needed_pages: 40, capacity_pages: 16 };
+        assert!(f.to_string().contains("40 KV pages"));
+    }
+}

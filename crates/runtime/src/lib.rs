@@ -8,9 +8,14 @@
 //!
 //! * [`request`] — [`Request`]s submitted by clients and the [`Session`]s
 //!   that track per-session KV-cache state and latency milestones;
+//! * [`kv`] — the paged KV cache: bounded per-node [`KvPool`]s of physical
+//!   pages, per-session [`PageTable`]s, recompute-style preemption when a
+//!   pool runs dry, and admission control (an unbounded pool, the default,
+//!   disables all of it);
 //! * [`scheduler`] — the continuous-batching [`Scheduler`]: decode-first
 //!   micro-batches under `max_batch`/`token_budget` caps, chunked prefill,
-//!   FCFS or shortest-prefill-first admission, round-robin across models;
+//!   FCFS or shortest-prefill-first admission, round-robin across models,
+//!   paging every batch against the target node's KV pool;
 //! * [`placement`] — how micro-batches map onto a NoC mesh of nodes:
 //!   [`Placement`] (data-parallel or sharded over a
 //!   [`NocConfig`](mugi::arch::noc::NocConfig)) plus the [`NodePool`] of
@@ -48,6 +53,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod executor;
+pub mod kv;
 pub mod placement;
 pub mod request;
 pub mod scheduler;
@@ -55,8 +61,9 @@ pub mod stats;
 pub mod workload;
 
 pub use executor::{Executor, ExecutorConfig};
+pub use kv::{pages_for, AdmissionError, KvConfig, KvPool, PageId, PageTable};
 pub use placement::{NodePool, Placement, PlacementPolicy};
 pub use request::{Request, RequestId, Session, SessionState};
 pub use scheduler::{BatchItem, MicroBatch, Scheduler, SchedulerConfig, SchedulingPolicy};
-pub use stats::{Percentiles, RequestStats, RuntimeReport};
+pub use stats::{KvStats, Percentiles, RequestStats, RuntimeReport};
 pub use workload::{synthetic_requests, WorkloadSpec};

@@ -17,6 +17,14 @@
 //!   while [`NocConfig::transfer_energy_pj`] charges the activation /
 //!   partial-sum movement between nodes.
 //!
+//! Placement also decides where a session's KV cache physically lives when
+//! the pool is bounded ([`KvConfig`](crate::kv::KvConfig)): each
+//! data-parallel node owns a private [`KvPool`](crate::kv::KvPool) — so the
+//! executor must pick a node with clock headroom *and* free pages, and a
+//! session is pinned to the node holding its pages — while a sharded mesh
+//! tiles every session's KV across all nodes and therefore forms one
+//! aggregate pool.
+//!
 //! A 1×1 mesh degenerates to the single-node executor under either policy —
 //! bit-identical reports, zero NoC energy.
 

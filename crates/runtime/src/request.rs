@@ -6,6 +6,7 @@
 //! prompt has been prefilled, how many tokens have been generated) and the
 //! latency milestones (first token, completion) the report is built from.
 
+use crate::kv::PageTable;
 use mugi_workloads::models::ModelId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -77,6 +78,21 @@ pub struct Session {
     /// Prompt tokens whose KV entries are already cached (chunked prefill
     /// advances this by one chunk per micro-batch).
     pub prefilled_tokens: usize,
+    /// Tokens the session must prefill before it can (re)enter decoding.
+    /// Starts at `prompt_tokens`; a KV preemption raises it to the evicted
+    /// KV length, because the dropped prompt *and* generated-token entries
+    /// must all be recomputed (recompute-style preemption).
+    pub prefill_target: usize,
+    /// Generated tokens whose KV entries are folded into `prefill_target`
+    /// after an eviction, so [`Session::kv_len`] does not double-count them
+    /// during and after the recompute prefill.
+    pub recomputed_tokens: usize,
+    /// Times this session was preempted (evicted from a full KV pool).
+    pub preemptions: u32,
+    /// Map from this session's KV entries to physical pages of the KV pool
+    /// its cache lives on. Stays empty under an unbounded
+    /// [`KvConfig`](crate::kv::KvConfig), where no paging is modelled.
+    pub page_table: PageTable,
     /// Output tokens generated so far (the prefill completion produces the
     /// first one).
     pub generated_tokens: usize,
@@ -100,22 +116,46 @@ impl Session {
             request,
             state: SessionState::Prefilling,
             prefilled_tokens: 0,
-            generated_tokens: 0,
+            prefill_target: request.prompt_tokens,
+            recomputed_tokens: 0,
+            preemptions: 0,
+            page_table: PageTable::new(),
             first_token_cycle: None,
             finish_cycle: None,
+            generated_tokens: 0,
             ready_cycle: request.arrival_cycle,
         }
     }
 
-    /// KV-cache entries this session currently holds (prefilled prompt plus
-    /// generated tokens).
+    /// KV-cache entries this session currently holds: the prefilled prefix
+    /// plus the generated tokens not already folded into a recompute prefill
+    /// target.
     pub fn kv_len(&self) -> usize {
-        self.prefilled_tokens + self.generated_tokens
+        self.prefilled_tokens + self.generated_tokens - self.recomputed_tokens
     }
 
-    /// Prompt tokens still waiting to be prefilled.
+    /// Tokens still waiting to be prefilled (the prompt, plus — after a
+    /// preemption — the evicted generated-token entries being recomputed).
     pub fn remaining_prefill(&self) -> usize {
-        self.request.prompt_tokens - self.prefilled_tokens
+        self.prefill_target - self.prefilled_tokens
+    }
+
+    /// Applies a KV preemption to the session's progress state: the cached
+    /// KV is gone, so the session re-enters the prefilling phase with the
+    /// full logical cache — prompt plus every token generated so far — as
+    /// its target, *not* just whatever was cached at eviction time: a
+    /// session evicted again mid-restore still owes the whole recompute.
+    /// Generated tokens already emitted stay emitted — only their cache
+    /// entries must be recomputed — so token accounting is unaffected. The
+    /// caller is responsible for releasing the page table and requeueing
+    /// the session.
+    pub fn preempt(&mut self) {
+        debug_assert!(!self.is_finished(), "finished sessions hold no KV to evict");
+        self.prefill_target = self.request.prompt_tokens + self.generated_tokens;
+        self.recomputed_tokens = self.generated_tokens;
+        self.prefilled_tokens = 0;
+        self.preemptions += 1;
+        self.state = SessionState::Prefilling;
     }
 
     /// Whether the session has produced all requested tokens.
@@ -158,6 +198,66 @@ mod tests {
         s.state = SessionState::Finished;
         assert!(s.is_finished());
         assert!(!s.is_runnable(0));
+    }
+
+    #[test]
+    fn preemption_resets_kv_but_not_emitted_tokens() {
+        let mut s = Session::new(RequestId(2), Request::new(ModelId::Llama2_7b, 100, 8));
+        s.prefilled_tokens = 100;
+        s.generated_tokens = 3;
+        s.state = SessionState::Decoding;
+        s.first_token_cycle = Some(40);
+        assert_eq!(s.kv_len(), 103);
+        s.preempt();
+        // The whole evicted KV (prompt + 3 generated entries) must be
+        // recomputed, but the 3 emitted tokens stay emitted.
+        assert_eq!(s.state, SessionState::Prefilling);
+        assert_eq!(s.remaining_prefill(), 103);
+        assert_eq!(s.generated_tokens, 3);
+        assert_eq!(s.kv_len(), 0, "no KV survives an eviction");
+        assert_eq!(s.preemptions, 1);
+        // Recompute prefill restores the cache without re-emitting tokens.
+        s.prefilled_tokens = 103;
+        assert_eq!(s.remaining_prefill(), 0);
+        assert_eq!(s.kv_len(), 103);
+        // A second eviction mid-decode folds the newly generated tokens too.
+        s.state = SessionState::Decoding;
+        s.generated_tokens = 5;
+        assert_eq!(s.kv_len(), 105);
+        s.preempt();
+        assert_eq!(s.remaining_prefill(), 105);
+        assert_eq!(s.kv_len(), 0);
+        assert_eq!(s.preemptions, 2);
+    }
+
+    #[test]
+    fn mid_prefill_preemption_restarts_the_prompt() {
+        let mut s = Session::new(RequestId(3), Request::new(ModelId::Llama2_7b, 64, 2));
+        s.prefilled_tokens = 32;
+        s.preempt();
+        assert_eq!(s.remaining_prefill(), 64, "partial prefill restarts from zero");
+        assert_eq!(s.kv_len(), 0);
+    }
+
+    #[test]
+    fn mid_restore_preemption_keeps_the_full_recompute_target() {
+        // Regression: a session evicted *again* halfway through its
+        // recompute prefill still owes the whole prompt + generated cache,
+        // not just the entries it had rebuilt so far.
+        let mut s = Session::new(RequestId(4), Request::new(ModelId::Llama2_7b, 4, 8));
+        s.prefilled_tokens = 4;
+        s.generated_tokens = 4;
+        s.state = SessionState::Decoding;
+        s.first_token_cycle = Some(10);
+        s.preempt();
+        assert_eq!(s.remaining_prefill(), 8);
+        s.prefilled_tokens = 2; // restore interrupted after one chunk…
+        s.preempt(); // …by a second eviction
+        assert_eq!(s.remaining_prefill(), 8, "the restore target must not shrink");
+        assert_eq!(s.kv_len(), 0);
+        s.prefilled_tokens = 8;
+        assert_eq!(s.kv_len(), 8, "full restore rebuilds prompt + generated entries");
+        assert_eq!(s.preemptions, 2);
     }
 
     #[test]

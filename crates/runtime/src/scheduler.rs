@@ -26,7 +26,34 @@
 //! work — not every session ever submitted. Sessions scheduled into a
 //! micro-batch are marked in flight until the batch completes, which lets a
 //! multi-node executor overlap several micro-batches safely.
+//!
+//! # Paged KV admission and preemption
+//!
+//! Under a bounded [`KvConfig`] the scheduler also owns the physical
+//! [`KvPool`]s (one per data-parallel node, or one aggregate pool under
+//! sharded placement) and every micro-batch formation is a paging
+//! transaction against the pool passed to [`Scheduler::next_micro_batch_on`]:
+//!
+//! * a **decode slot** needs its session's table to cover `kv_len + 1`
+//!   entries; when the pool is short, the scheduler *preempts* — it evicts
+//!   the most-recently-admitted page holders (strictly younger than the
+//!   requester, which makes the oldest session unpreemptable and the whole
+//!   scheme starvation-free), moves them back to the waiting queue and
+//!   charges them a recompute prefill;
+//! * a **prefill chunk** from a session already holding pages may preempt
+//!   the same way (its work is sunk cost); a *fresh* admission never
+//!   preempts — when free pages fall short of its projected need the
+//!   prefill queue is deferred wholesale (strict policy order, no
+//!   head-of-line bypass), which is the admission-control half of the
+//!   design;
+//! * sessions are pinned to the pool holding their pages (`PageTable::home`),
+//!   so a data-parallel executor can only schedule them on their home node.
+//!
+//! With the default unbounded [`KvConfig`] none of this bookkeeping runs and
+//! the scheduler is bit-identical to the pre-paging implementation
+//! (property-tested in `tests/proptests.rs`).
 
+use crate::kv::{pages_for, AdmissionError, KvConfig, KvPool};
 use crate::request::{Request, RequestId, Session, SessionState};
 use mugi_workloads::models::ModelId;
 use mugi_workloads::ops::{BatchSlice, Phase};
@@ -104,6 +131,10 @@ pub struct MicroBatch {
     pub model: ModelId,
     /// The scheduled items (decode slots first, then prefill chunks).
     pub items: Vec<BatchItem>,
+    /// KV pages evicted (sessions preempted) to make room for this batch;
+    /// always zero under an unbounded pool. The executor charges page-fault
+    /// stall cycles per evicted page.
+    pub evicted_pages: usize,
 }
 
 impl MicroBatch {
@@ -122,15 +153,21 @@ impl MicroBatch {
     ///
     /// Decode slots are grouped by their context length rounded up to
     /// `kv_bucket` (the paged-KV page-granularity view of the cache), which
-    /// keeps the number of distinct slice shapes — and therefore the size of
+    /// keeps the number of distinct trace shapes — and therefore the size of
     /// the accelerator's trace cache — small. Prefill chunks become one
     /// slice each, with the attended KV length bucketed the same way.
+    ///
+    /// The rounding is [`pages_for`]`(len) * kv_bucket` — the same page
+    /// count the KV pool charges the session — so a zero-context decode
+    /// occupies exactly one page (`kv_bucket` entries), never more: the page
+    /// count saturates at one *before* multiplying by the page size, pinning
+    /// the `context_len == 0` boundary to the `1..=kv_bucket` bucket.
     ///
     /// # Panics
     /// Panics if `kv_bucket` is zero.
     pub fn slices(&self, kv_bucket: usize) -> Vec<BatchSlice> {
         assert!(kv_bucket > 0, "kv_bucket must be non-zero");
-        let bucket = |len: usize| len.div_ceil(kv_bucket).max(1) * kv_bucket;
+        let bucket = |len: usize| pages_for(len, kv_bucket) * kv_bucket;
         // Group decode slots by bucketed context length, preserving ascending
         // order so equal batches always produce identical slice lists.
         let mut decode_buckets: Vec<(usize, usize)> = Vec::new(); // (context, count)
@@ -191,6 +228,11 @@ fn sorted_remove(ids: &mut Vec<RequestId>, id: RequestId) {
 #[derive(Clone, Debug)]
 pub struct Scheduler {
     config: SchedulerConfig,
+    kv: KvConfig,
+    /// Physical KV pools, empty under an unbounded [`KvConfig`]. One pool
+    /// per data-parallel node, or a single aggregate pool under sharded
+    /// placement (see [`Scheduler::configure_kv_pools`]).
+    pools: Vec<KvPool>,
     sessions: Vec<Session>,
     /// Per-model queues of released unfinished sessions, in first-submission
     /// order of their models.
@@ -208,23 +250,54 @@ pub struct Scheduler {
     retired: usize,
     /// Monotone counter driving the least-recently-served model rotation.
     serve_counter: u64,
+    /// Sessions evicted from a full KV pool so far.
+    preempted: u64,
+    /// KV entries dropped by evictions that must be prefilled again (the
+    /// recompute cost of preemption, in tokens).
+    reprefill_tokens: u64,
+    /// Pages released by evictions (the executor charges fault stalls per
+    /// page).
+    evicted_pages: u64,
+    /// Submissions rejected by admission control.
+    rejected: u64,
 }
 
 impl Scheduler {
-    /// Creates an empty scheduler.
+    /// Creates an empty scheduler with an unbounded KV pool (no paging).
     ///
     /// # Panics
     /// Panics if any configured cap is zero.
     pub fn new(config: SchedulerConfig) -> Self {
+        Scheduler::with_kv(config, KvConfig::default())
+    }
+
+    /// Creates an empty scheduler managing a paged KV cache. A bounded
+    /// `kv` starts with a single pool of `kv.node_pages` pages; an executor
+    /// repartitions it per placement via [`Scheduler::configure_kv_pools`].
+    ///
+    /// # Panics
+    /// Panics if any configured cap is zero.
+    pub fn with_kv(config: SchedulerConfig, kv: KvConfig) -> Self {
         config.validate();
+        assert!(kv.page_tokens > 0, "page_tokens must be non-zero");
+        let pools = match kv.node_pages {
+            Some(pages) => vec![KvPool::bounded(pages)],
+            None => Vec::new(),
+        };
         Scheduler {
             config,
+            kv,
+            pools,
             sessions: Vec::new(),
             queues: Vec::new(),
             future: VecDeque::new(),
             in_flight: HashSet::new(),
             retired: 0,
             serve_counter: 0,
+            preempted: 0,
+            reprefill_tokens: 0,
+            evicted_pages: 0,
+            rejected: 0,
         }
     }
 
@@ -233,8 +306,73 @@ impl Scheduler {
         &self.config
     }
 
+    /// The KV-cache configuration the scheduler pages under.
+    pub fn kv_config(&self) -> &KvConfig {
+        &self.kv
+    }
+
+    /// Repartitions the bounded KV capacity into `pools` pools of
+    /// `kv.node_pages * capacity_scale` pages each. The executor calls this
+    /// at construction: one pool per node under data-parallel placement
+    /// (`(nodes, 1)`), one aggregate pool under sharded placement
+    /// (`(1, nodes)`, the KV being tiled across the mesh). No-op when the
+    /// configuration is unbounded.
+    ///
+    /// # Panics
+    /// Panics if `pools` or `capacity_scale` is zero, or if any session
+    /// already holds pages (pools cannot be repartitioned mid-run).
+    pub fn configure_kv_pools(&mut self, pools: usize, capacity_scale: usize) {
+        let Some(node_pages) = self.kv.node_pages else { return };
+        assert!(pools > 0, "at least one KV pool is required");
+        assert!(capacity_scale > 0, "capacity_scale must be non-zero");
+        assert!(
+            self.sessions.iter().all(|s| s.page_table.mapped_pages() == 0),
+            "cannot repartition KV pools once pages are mapped"
+        );
+        self.pools = (0..pools).map(|_| KvPool::bounded(node_pages * capacity_scale)).collect();
+    }
+
     /// Submits a request, returning its id. Submission order defines FCFS.
+    ///
+    /// # Panics
+    /// Panics if admission control rejects the request (only possible under
+    /// a bounded [`KvConfig`]); use [`Scheduler::try_submit`] to handle
+    /// rejection as backpressure instead.
     pub fn submit(&mut self, request: Request) -> RequestId {
+        self.try_submit(request)
+            .unwrap_or_else(|e| panic!("request rejected: {e}; use try_submit to handle this"))
+    }
+
+    /// Submits a request unless admission control rejects it: the live
+    /// session population is at [`KvConfig::max_live_sessions`] (backpressure
+    /// — retry later), or the request alone could never fit *one node's*
+    /// pool of [`KvConfig::node_pages`] pages (admitting it would deadlock
+    /// that pool). The fit check deliberately uses the per-node capacity
+    /// rather than the current pool partition, so acceptance does not depend
+    /// on whether the request is submitted before or after an executor
+    /// repartitions the pools (a sharded executor merges them into a larger
+    /// aggregate, which only relaxes the true constraint). Rejections are
+    /// counted in the runtime report.
+    pub fn try_submit(&mut self, request: Request) -> Result<RequestId, AdmissionError> {
+        if let Some(bound) = self.kv.max_live_sessions {
+            let live = self.sessions.len() - self.retired;
+            if live >= bound {
+                self.rejected += 1;
+                return Err(AdmissionError::QueueFull { live, bound });
+            }
+        }
+        if let Some(capacity) = self.kv.node_pages {
+            // Peak demand: the whole prompt plus every generated token.
+            let needed =
+                pages_for(request.prompt_tokens + request.output_tokens, self.kv.page_tokens);
+            if needed > capacity {
+                self.rejected += 1;
+                return Err(AdmissionError::NeverFits {
+                    needed_pages: needed,
+                    capacity_pages: capacity,
+                });
+            }
+        }
         let id = RequestId(self.sessions.len() as u64);
         self.sessions.push(Session::new(id, request));
         let arrival = request.arrival_cycle;
@@ -244,7 +382,7 @@ impl Scheduler {
             let pos = self.future.partition_point(|&(a, _)| a <= arrival);
             self.future.insert(pos, (arrival, id));
         }
-        id
+        Ok(id)
     }
 
     /// All sessions in submission order.
@@ -274,6 +412,56 @@ impl Scheduler {
     /// micro-batch.
     pub fn in_flight_count(&self) -> usize {
         self.in_flight.len()
+    }
+
+    /// Number of KV pools (zero under an unbounded configuration).
+    pub fn kv_pool_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Free pages of pool `pool`, or `None` under an unbounded
+    /// configuration (where every pool is infinitely free).
+    pub fn kv_free_pages(&self, pool: usize) -> Option<usize> {
+        self.pools.get(pool).map(KvPool::free_pages)
+    }
+
+    /// Total page capacity across all pools (`None` = unbounded).
+    pub fn kv_capacity_pages(&self) -> Option<u64> {
+        if self.pools.is_empty() {
+            None
+        } else {
+            Some(self.pools.iter().map(|p| p.capacity() as u64).sum())
+        }
+    }
+
+    /// Pages currently mapped across all pools.
+    pub fn kv_used_pages(&self) -> u64 {
+        self.pools.iter().map(|p| p.used_pages() as u64).sum()
+    }
+
+    /// High-water mark of mapped pages, summed across pools.
+    pub fn kv_peak_used_pages(&self) -> u64 {
+        self.pools.iter().map(|p| p.peak_used_pages() as u64).sum()
+    }
+
+    /// Sessions evicted from a full KV pool so far.
+    pub fn preemption_count(&self) -> u64 {
+        self.preempted
+    }
+
+    /// KV entries dropped by evictions that had to be prefilled again.
+    pub fn reprefill_token_count(&self) -> u64 {
+        self.reprefill_tokens
+    }
+
+    /// Pages released by evictions so far.
+    pub fn evicted_page_count(&self) -> u64 {
+        self.evicted_pages
+    }
+
+    /// Submissions rejected by admission control so far.
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected
     }
 
     /// Earliest cycle strictly after `now` at which an unfinished session
@@ -330,20 +518,45 @@ impl Scheduler {
         !self.in_flight.contains(&id) && self.sessions[id.0 as usize].is_runnable(now)
     }
 
-    /// Assembles the next micro-batch at simulated cycle `now`, or `None`
-    /// when no session has runnable work (all finished, everything runnable
-    /// already in flight, or only future arrivals remain). Scheduled
-    /// sessions are marked in flight until [`Scheduler::complete`] is called
-    /// for the batch, so overlapping micro-batches on different nodes never
-    /// share a session.
+    /// Whether `id` may be scheduled at `now` out of KV pool `pool`: it must
+    /// be schedulable and — under a bounded configuration — either homeless
+    /// (fresh admission) or already homed to `pool`.
+    fn eligible_on(&self, id: RequestId, now: u64, pool: usize) -> bool {
+        self.schedulable(id, now)
+            && (self.pools.is_empty()
+                || self.sessions[id.0 as usize].page_table.admissible_on(pool))
+    }
+
+    /// Assembles the next micro-batch at simulated cycle `now` against KV
+    /// pool 0 — the single-node / sharded view. A data-parallel multi-node
+    /// executor uses [`Scheduler::next_micro_batch_on`] with the target
+    /// node's pool instead. Returns `None` when no session has runnable
+    /// work (all finished, everything runnable already in flight, blocked on
+    /// KV pages, or only future arrivals remain).
     pub fn next_micro_batch(&mut self, now: u64) -> Option<MicroBatch> {
+        self.next_micro_batch_on(now, 0)
+    }
+
+    /// Assembles the next micro-batch at simulated cycle `now` for the node
+    /// whose KV lives in pool `pool`. Scheduled sessions are marked in
+    /// flight until [`Scheduler::complete`] is called for the batch, so
+    /// overlapping micro-batches on different nodes never share a session.
+    ///
+    /// Under a bounded [`KvConfig`] the formation is a paging transaction:
+    /// decode growth and prefill chunks allocate pages from `pool`,
+    /// preempting most-recently-admitted page holders when it runs dry (see
+    /// the module docs). Models whose eligible sessions are all blocked on
+    /// pages are skipped in favour of the next least-recently-served one.
+    pub fn next_micro_batch_on(&mut self, now: u64, pool: usize) -> Option<MicroBatch> {
         self.release_arrivals(now);
-        // Pick the least-recently-served model with runnable work; ties
-        // (e.g. never-served models) go to the oldest runnable session.
-        // Tracking actual service instead of an index into the ever-shifting
-        // runnable set means a model that stays runnable is served within
-        // one rotation, whatever joins or leaves in between.
-        let chosen = self
+        // Rank models by least-recently-served; ties (e.g. never-served
+        // models) go to the oldest eligible session. Tracking actual service
+        // instead of an index into the ever-shifting runnable set means a
+        // model that stays runnable is served within one rotation, whatever
+        // joins or leaves in between. Under KV pressure a model may have
+        // eligible-but-unformable work (everything blocked on pages), so the
+        // ranking is a preference order, not a single pick.
+        let mut candidates: Vec<(u64, RequestId, usize)> = self
             .queues
             .iter()
             .enumerate()
@@ -351,43 +564,82 @@ impl Scheduler {
                 q.decoding
                     .iter()
                     .chain(q.waiting.iter())
-                    .filter(|&&id| self.schedulable(id, now))
+                    .filter(|&&id| self.eligible_on(id, now, pool))
                     .map(|&id| id)
                     .min()
                     .map(|oldest| (q.last_served, oldest, qi))
             })
-            .min()?;
-        let qi = chosen.2;
-        self.serve_counter += 1;
-        self.queues[qi].last_served = self.serve_counter;
-        let model = self.queues[qi].model;
+            .collect();
+        candidates.sort();
+        for (_, _, qi) in candidates {
+            let (items, evicted_pages) = self.try_form(now, pool, qi);
+            if items.is_empty() {
+                continue;
+            }
+            self.serve_counter += 1;
+            self.queues[qi].last_served = self.serve_counter;
+            for item in &items {
+                self.in_flight.insert(item.id);
+            }
+            return Some(MicroBatch { model: self.queues[qi].model, items, evicted_pages });
+        }
+        None
+    }
 
+    /// Tries to form a micro-batch for the model of queue `qi` out of KV
+    /// pool `pool`, returning the items plus the pages evicted to make room
+    /// (empty items = everything eligible is blocked on pages).
+    fn try_form(&mut self, now: u64, pool: usize, qi: usize) -> (Vec<BatchItem>, usize) {
         let SchedulerConfig { max_batch, token_budget, prefill_chunk, policy } = self.config;
-        let mut items = Vec::new();
+        let KvConfig { page_tokens, .. } = self.kv;
+        let paged = !self.pools.is_empty();
+        let mut items: Vec<BatchItem> = Vec::new();
+        let mut in_batch: HashSet<RequestId> = HashSet::new();
         let mut tokens = 0usize;
+        let mut evicted_pages = 0usize;
 
-        // 1. Decode slots for every in-flight generation, oldest first.
+        // 1. Decode slots for every in-flight generation, oldest first. A
+        // slot needs the session's table to cover one more KV entry; when
+        // the pool is short the session preempts strictly-younger page
+        // holders, and a session that cannot reclaim enough simply skips
+        // this step (the oldest session can always reclaim, so no one
+        // starves).
         let decoding: Vec<RequestId> = self.queues[qi]
             .decoding
             .iter()
             .copied()
-            .filter(|&id| self.schedulable(id, now))
+            .filter(|&id| self.eligible_on(id, now, pool))
             .collect();
         for id in decoding {
             if items.len() >= max_batch || tokens >= token_budget {
                 break;
             }
             let s = &self.sessions[id.0 as usize];
-            items.push(BatchItem { id, phase: Phase::Decode, tokens: 1, context_len: s.kv_len() });
+            if s.state != SessionState::Decoding {
+                continue; // evicted earlier in this very formation
+            }
+            let context_len = s.kv_len();
+            if paged {
+                let need = pages_for(context_len + 1, page_tokens);
+                if !self.reserve_pages(pool, id, need, &in_batch, &mut evicted_pages) {
+                    continue;
+                }
+            }
+            items.push(BatchItem { id, phase: Phase::Decode, tokens: 1, context_len });
+            in_batch.insert(id);
             tokens += 1;
         }
 
-        // 2. Prefill chunks with the remaining budget, in policy order.
+        // 2. Prefill chunks with the remaining budget, in policy order. A
+        // chunk from a page-holding session (sunk recompute cost) may
+        // preempt like a decode slot; a fresh admission defers instead when
+        // free pages fall short of its projected need — and defers the rest
+        // of the queue with it, so admission keeps strict policy order.
         let mut waiting: Vec<RequestId> = self.queues[qi]
             .waiting
             .iter()
             .copied()
-            .filter(|&id| self.schedulable(id, now))
+            .filter(|&id| self.eligible_on(id, now, pool))
             .collect();
         if policy == SchedulingPolicy::ShortestPrefillFirst {
             waiting.sort_by_key(|&id| (self.sessions[id.0 as usize].remaining_prefill(), id));
@@ -396,33 +648,130 @@ impl Scheduler {
             if items.len() >= max_batch || tokens >= token_budget {
                 break;
             }
+            if in_batch.contains(&id) {
+                continue;
+            }
             let s = &self.sessions[id.0 as usize];
             let room = token_budget - tokens;
             let chunk = s.remaining_prefill().min(prefill_chunk).min(room);
-            items.push(BatchItem {
-                id,
-                phase: Phase::Prefill,
-                tokens: chunk,
-                context_len: s.prefilled_tokens + chunk,
-            });
+            let context_len = s.prefilled_tokens + chunk;
+            if paged {
+                // The chunk that completes the prefill also emits the first
+                // output token, whose KV entry lands in the same table.
+                let completes = chunk == s.remaining_prefill();
+                let emits = completes && s.first_token_cycle.is_none();
+                let need = pages_for(context_len + usize::from(emits), page_tokens);
+                if s.page_table.mapped_pages() == 0 {
+                    // Fresh admission: defer (never preempt) when free pages
+                    // fall short of the projected need.
+                    if self.pools[pool].free_pages() < need {
+                        break;
+                    }
+                    let grown = self.sessions[id.0 as usize].page_table.grow(
+                        pool,
+                        &mut self.pools[pool],
+                        need,
+                    );
+                    debug_assert!(grown, "free pages were just checked");
+                } else if !self.reserve_pages(pool, id, need, &in_batch, &mut evicted_pages) {
+                    break;
+                }
+            }
+            items.push(BatchItem { id, phase: Phase::Prefill, tokens: chunk, context_len });
+            in_batch.insert(id);
             tokens += chunk;
         }
 
-        debug_assert!(!items.is_empty(), "a model with runnable work must yield items");
         debug_assert!(tokens <= token_budget, "token budget exceeded");
-        for item in &items {
-            self.in_flight.insert(item.id);
+        self.evicted_pages += evicted_pages as u64;
+        (items, evicted_pages)
+    }
+
+    /// Grows `id`'s page table to `need` pages out of `pool`, preempting
+    /// strictly-younger page holders (most recently admitted first) when the
+    /// free list is short. Returns `false` — with nothing evicted and
+    /// nothing allocated — if even evicting every eligible victim would not
+    /// free enough pages. Victims are planned first and only then committed,
+    /// so a failed reclaim has no side effects.
+    fn reserve_pages(
+        &mut self,
+        pool: usize,
+        id: RequestId,
+        need: usize,
+        in_batch: &HashSet<RequestId>,
+        evicted_pages: &mut usize,
+    ) -> bool {
+        let growth = need.saturating_sub(self.sessions[id.0 as usize].page_table.mapped_pages());
+        if growth == 0 {
+            return true;
         }
-        Some(MicroBatch { model, items })
+        let mut reclaimable = self.pools[pool].free_pages();
+        let mut victims: Vec<RequestId> = Vec::new();
+        if reclaimable < growth {
+            // Most-recently-admitted first: the newest page holders pay,
+            // which keeps the oldest session unpreemptable (liveness). Only
+            // sessions strictly younger than the requester, not in flight
+            // and not already in the forming batch may be evicted. Every
+            // page holder is an unfinished, released session, so the model
+            // queues enumerate exactly the candidate set — an
+            // in-flight-sized scan, not one over every session ever
+            // submitted.
+            let mut candidates: Vec<RequestId> = self
+                .queues
+                .iter()
+                .flat_map(|q| q.waiting.iter().chain(q.decoding.iter()))
+                .copied()
+                .filter(|&v| {
+                    let s = &self.sessions[v.0 as usize];
+                    s.page_table.home() == Some(pool)
+                        && v > id
+                        && !self.in_flight.contains(&v)
+                        && !in_batch.contains(&v)
+                })
+                .collect();
+            candidates.sort_unstable_by(|a, b| b.cmp(a));
+            for victim in candidates {
+                if reclaimable >= growth {
+                    break;
+                }
+                reclaimable += self.sessions[victim.0 as usize].page_table.mapped_pages();
+                victims.push(victim);
+            }
+            if reclaimable < growth {
+                return false;
+            }
+        }
+        for victim in victims {
+            let s = &mut self.sessions[victim.0 as usize];
+            let lost_tokens = s.kv_len() as u64;
+            let mut table = std::mem::take(&mut s.page_table);
+            let released = table.release_all(&mut self.pools[pool]);
+            s.preempt();
+            let model = s.request.model;
+            let queue = self
+                .queues
+                .iter_mut()
+                .find(|q| q.model == model)
+                .expect("page holders live in a model queue");
+            sorted_remove(&mut queue.decoding, victim);
+            sorted_insert(&mut queue.waiting, victim);
+            self.preempted += 1;
+            self.reprefill_tokens += lost_tokens;
+            *evicted_pages += released;
+        }
+        let grown = self.sessions[id.0 as usize].page_table.grow(pool, &mut self.pools[pool], need);
+        debug_assert!(grown, "reclaim guaranteed the free pages");
+        true
     }
 
     /// Applies the effects of an executed micro-batch at simulated cycle
-    /// `end_cycle`: prefill chunks advance the cached prompt prefix (a
-    /// completed prefill emits the first output token), decode slots emit one
-    /// token each, and sessions that reach their requested output length
-    /// finish and retire from their model queue. Every session of the batch
-    /// leaves the in-flight set and becomes schedulable again at
-    /// `end_cycle`.
+    /// `end_cycle`: prefill chunks advance the cached prefix (a completed
+    /// *first* prefill emits the first output token; a completed recompute
+    /// prefill after a preemption just restores the cache and resumes
+    /// decoding), decode slots emit one token each, and sessions that reach
+    /// their requested output length finish, retire from their model queue
+    /// and release their KV pages. Every session of the batch leaves the
+    /// in-flight set and becomes schedulable again at `end_cycle`.
     ///
     /// # Panics
     /// Panics if the batch references an id this scheduler did not issue.
@@ -432,15 +781,23 @@ impl Scheduler {
             match item.phase {
                 Phase::Prefill => {
                     s.prefilled_tokens += item.tokens;
-                    debug_assert!(s.prefilled_tokens <= s.request.prompt_tokens);
+                    debug_assert!(s.prefilled_tokens <= s.prefill_target);
                     if s.remaining_prefill() == 0 {
-                        // The prefill step produces the first output token.
-                        s.generated_tokens = 1;
-                        s.first_token_cycle = Some(end_cycle);
-                        if s.generated_tokens >= s.request.output_tokens {
-                            s.state = SessionState::Finished;
-                            s.finish_cycle = Some(end_cycle);
+                        if s.first_token_cycle.is_none() {
+                            // The prefill step produces the first output
+                            // token.
+                            s.generated_tokens = 1;
+                            s.first_token_cycle = Some(end_cycle);
+                            if s.generated_tokens >= s.request.output_tokens {
+                                s.state = SessionState::Finished;
+                                s.finish_cycle = Some(end_cycle);
+                            } else {
+                                s.state = SessionState::Decoding;
+                            }
                         } else {
+                            // Recompute prefill after a preemption: the
+                            // cache is restored, decoding resumes, no new
+                            // token is emitted.
                             s.state = SessionState::Decoding;
                         }
                     }
@@ -455,6 +812,12 @@ impl Scheduler {
             }
             s.ready_cycle = s.ready_cycle.max(end_cycle);
             let state = s.state;
+            if state == SessionState::Finished {
+                if let Some(home) = s.page_table.home() {
+                    let mut table = std::mem::take(&mut s.page_table);
+                    table.release_all(&mut self.pools[home]);
+                }
+            }
             self.in_flight.remove(&item.id);
             let queue = self
                 .queues
@@ -657,12 +1020,57 @@ mod tests {
                 BatchItem { id: RequestId(2), phase: Phase::Decode, tokens: 1, context_len: 300 },
                 BatchItem { id: RequestId(3), phase: Phase::Prefill, tokens: 96, context_len: 224 },
             ],
+            evicted_pages: 0,
         };
         let slices = batch.slices(128);
         assert_eq!(slices.len(), 3);
         assert_eq!(slices[0], BatchSlice::decode(2, 128));
         assert_eq!(slices[1], BatchSlice::decode(1, 384));
         assert_eq!(slices[2], BatchSlice::prefill(1, 96).with_kv_len(256));
+    }
+
+    #[test]
+    fn zero_context_decode_buckets_to_exactly_one_page() {
+        // Regression for the bucketing boundary: the page count must
+        // saturate at one *before* scaling by the page size, so a
+        // zero-context decode occupies exactly one `kv_bucket`-entry page —
+        // the same bucket as contexts 1..=kv_bucket — and `kv_bucket + 1`
+        // spills into the second page.
+        let decode = |context_len| MicroBatch {
+            model: ModelId::Llama2_7b,
+            items: vec![BatchItem {
+                id: RequestId(0),
+                phase: Phase::Decode,
+                tokens: 1,
+                context_len,
+            }],
+            evicted_pages: 0,
+        };
+        let kv_bucket = 128;
+        for (context_len, pages) in [(0, 1), (1, 1), (kv_bucket, 1), (kv_bucket + 1, 2)] {
+            let slices = decode(context_len).slices(kv_bucket);
+            assert_eq!(
+                slices,
+                vec![BatchSlice::decode(1, pages * kv_bucket)],
+                "context {context_len} must map to {pages} page(s)"
+            );
+            assert_eq!(crate::kv::pages_for(context_len, kv_bucket), pages);
+        }
+        // The boundary also holds for prefill KV bucketing.
+        let prefill = MicroBatch {
+            model: ModelId::Llama2_7b,
+            items: vec![BatchItem {
+                id: RequestId(0),
+                phase: Phase::Prefill,
+                tokens: 1,
+                context_len: 0,
+            }],
+            evicted_pages: 0,
+        };
+        assert_eq!(
+            prefill.slices(kv_bucket),
+            vec![BatchSlice::prefill(1, 1).with_kv_len(kv_bucket)]
+        );
     }
 
     #[test]
@@ -674,5 +1082,194 @@ mod tests {
             prefill_chunk: 1,
             policy: SchedulingPolicy::Fcfs,
         });
+    }
+
+    use crate::kv::{AdmissionError, KvConfig};
+
+    /// Drives the scheduler to completion on one pool, checking page
+    /// conservation after every step, and returns the number of steps.
+    fn drain(sched: &mut Scheduler) -> usize {
+        let capacity = sched.kv_capacity_pages();
+        let mut now = 0u64;
+        let mut steps = 0usize;
+        while !sched.all_finished() {
+            steps += 1;
+            assert!(steps < 10_000, "scheduler failed to drain (livelock)");
+            if let Some(batch) = sched.next_micro_batch(now) {
+                now += 1;
+                sched.complete(&batch, now);
+            } else {
+                now = sched.next_arrival_after(now).expect("blocked with nothing runnable");
+            }
+            if let Some(capacity) = capacity {
+                let mapped: u64 =
+                    sched.sessions().iter().map(|s| s.page_table.mapped_pages() as u64).sum();
+                assert_eq!(
+                    sched.kv_free_pages(0).unwrap() as u64 + mapped,
+                    capacity,
+                    "free + mapped must equal capacity after every step"
+                );
+            }
+        }
+        steps
+    }
+
+    #[test]
+    fn decode_growth_preempts_the_most_recently_admitted_holder() {
+        // Pool of 4 four-token pages. Two equal requests (prompt 4, output
+        // 8) prefill together (2 pages each: context 5 after the emitted
+        // first token). Both decode in lockstep until their KV crosses 8
+        // entries: the older session (r0) then needs a third page, the pool
+        // is dry, and the younger holder (r1) must be evicted, re-prefill
+        // its whole 8-entry KV and still finish.
+        let mut sched = Scheduler::with_kv(
+            SchedulerConfig {
+                max_batch: 2,
+                token_budget: 8,
+                prefill_chunk: 4,
+                policy: SchedulingPolicy::Fcfs,
+            },
+            KvConfig::bounded(4, 4),
+        );
+        let a = sched.submit(request(ModelId::Llama2_7b, 4, 8));
+        let b = sched.submit(request(ModelId::Llama2_7b, 4, 8));
+        drain(&mut sched);
+        assert!(sched.all_finished());
+        assert_eq!(sched.session(a).preemptions, 0, "the oldest session is unpreemptable");
+        assert_eq!(sched.session(b).preemptions, 1);
+        assert_eq!(sched.preemption_count(), 1);
+        assert_eq!(sched.evicted_page_count(), 2, "the victim held two pages");
+        assert_eq!(
+            sched.reprefill_token_count(),
+            8,
+            "prompt 4 + 4 generated KV entries recomputed"
+        );
+        // Token accounting stays exact through the eviction.
+        for s in sched.sessions() {
+            assert_eq!(s.generated_tokens, s.request.output_tokens);
+            assert_eq!(s.page_table.mapped_pages(), 0, "finished sessions hold no pages");
+        }
+        assert_eq!(sched.kv_free_pages(0), Some(4), "all pages return to the pool");
+    }
+
+    #[test]
+    fn fresh_prefills_defer_until_pages_free_up() {
+        // One page-hungry session (needs 3 of 4 pages at its peak) runs
+        // while a second one waits: the second's first chunk must be
+        // deferred while free pages fall short of its projected need, and
+        // admitted later without any preemption.
+        let mut sched = Scheduler::with_kv(
+            SchedulerConfig {
+                max_batch: 4,
+                token_budget: 16,
+                prefill_chunk: 8,
+                policy: SchedulingPolicy::Fcfs,
+            },
+            KvConfig::bounded(4, 4),
+        );
+        sched.submit(request(ModelId::Llama2_7b, 8, 5)); // peak: pages_for(13) = 4 pages
+        let late = sched.submit(request(ModelId::Llama2_7b, 8, 2));
+        let first = sched.next_micro_batch(0).unwrap();
+        // Only the first prompt fits: 8 + 1 emitted token = 3 pages, leaving
+        // one free page — short of the second prompt's 3-page need.
+        assert_eq!(first.items.len(), 1, "the second prefill must be deferred");
+        assert_eq!(first.evicted_pages, 0, "fresh admissions never preempt");
+        sched.complete(&first, 1);
+        assert_eq!(sched.session(late).prefilled_tokens, 0);
+        drain(&mut sched);
+        assert!(sched.all_finished());
+        assert_eq!(sched.preemption_count(), 0, "deferral suffices for this workload");
+    }
+
+    #[test]
+    fn try_submit_rejects_on_queue_depth_and_impossible_fits() {
+        let mut sched = Scheduler::with_kv(
+            SchedulerConfig::default(),
+            KvConfig::bounded(4, 8).with_max_live_sessions(2),
+        );
+        assert!(sched.try_submit(request(ModelId::Llama2_7b, 4, 4)).is_ok());
+        assert!(sched.try_submit(request(ModelId::Llama2_7b, 4, 4)).is_ok());
+        // Third live session exceeds the depth bound.
+        assert_eq!(
+            sched.try_submit(request(ModelId::Llama2_7b, 4, 4)),
+            Err(AdmissionError::QueueFull { live: 2, bound: 2 })
+        );
+        // A request that could never fit the pool is rejected outright:
+        // pages_for(60 + 8) = 17 > 8.
+        let mut roomy = Scheduler::with_kv(SchedulerConfig::default(), KvConfig::bounded(4, 8));
+        assert_eq!(
+            roomy.try_submit(request(ModelId::Llama2_7b, 60, 8)),
+            Err(AdmissionError::NeverFits { needed_pages: 17, capacity_pages: 8 })
+        );
+        assert_eq!(sched.rejected_count(), 1);
+        assert_eq!(roomy.rejected_count(), 1);
+        // Unbounded schedulers never reject.
+        let mut unbounded = Scheduler::new(SchedulerConfig::default());
+        assert!(unbounded.try_submit(request(ModelId::Llama2_7b, 100_000, 1000)).is_ok());
+    }
+
+    #[test]
+    fn never_fits_is_judged_per_node_regardless_of_pool_partition() {
+        // Admission must not depend on whether a request is submitted
+        // before or after an executor repartitions the pools: the fit check
+        // always uses the per-node capacity, so a sharded 4-node aggregate
+        // (32 pages) still rejects what one node (8 pages) cannot hold.
+        let mut sched = Scheduler::with_kv(SchedulerConfig::default(), KvConfig::bounded(4, 8));
+        sched.configure_kv_pools(1, 4);
+        assert_eq!(sched.kv_capacity_pages(), Some(32));
+        assert_eq!(
+            sched.try_submit(request(ModelId::Llama2_7b, 60, 8)),
+            Err(AdmissionError::NeverFits { needed_pages: 17, capacity_pages: 8 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "request rejected")]
+    fn infallible_submit_panics_on_rejection() {
+        let mut sched = Scheduler::with_kv(
+            SchedulerConfig::default(),
+            KvConfig::bounded(4, 8).with_max_live_sessions(1),
+        );
+        sched.submit(request(ModelId::Llama2_7b, 4, 4));
+        sched.submit(request(ModelId::Llama2_7b, 4, 4));
+    }
+
+    #[test]
+    fn pool_repartitioning_scales_capacity_and_guards_mapped_pages() {
+        let mut sched = Scheduler::with_kv(SchedulerConfig::default(), KvConfig::bounded(16, 8));
+        assert_eq!(sched.kv_pool_count(), 1);
+        sched.configure_kv_pools(4, 1); // data-parallel over 4 nodes
+        assert_eq!(sched.kv_pool_count(), 4);
+        assert_eq!(sched.kv_capacity_pages(), Some(32));
+        sched.configure_kv_pools(1, 4); // sharded across 4 nodes
+        assert_eq!(sched.kv_pool_count(), 1);
+        assert_eq!(sched.kv_capacity_pages(), Some(32));
+        // Unbounded schedulers ignore repartitioning entirely.
+        let mut unbounded = Scheduler::new(SchedulerConfig::default());
+        unbounded.configure_kv_pools(4, 1);
+        assert_eq!(unbounded.kv_pool_count(), 0);
+        assert_eq!(unbounded.kv_capacity_pages(), None);
+    }
+
+    #[test]
+    fn sessions_stay_on_their_home_pool() {
+        // Two pools of 4 pages. A session prefilled out of pool 0 must not
+        // be schedulable on pool 1, and a fresh session is admissible on
+        // either.
+        let mut sched = Scheduler::with_kv(SchedulerConfig::default(), KvConfig::bounded(4, 4));
+        sched.configure_kv_pools(2, 1);
+        let a = sched.submit(request(ModelId::Llama2_7b, 4, 4));
+        let b = sched.submit(request(ModelId::Llama2_7b, 4, 4));
+        let on_zero = sched.next_micro_batch_on(0, 0).unwrap();
+        assert_eq!(on_zero.items.len(), 2, "both prompts fit pool 0");
+        sched.complete(&on_zero, 1);
+        assert_eq!(sched.session(a).page_table.home(), Some(0));
+        assert_eq!(sched.session(b).page_table.home(), Some(0));
+        assert!(
+            sched.next_micro_batch_on(1, 1).is_none(),
+            "homed sessions are not eligible on another node's pool"
+        );
+        let again = sched.next_micro_batch_on(1, 0).unwrap();
+        assert_eq!(again.decode_slots(), 2);
     }
 }

@@ -71,6 +71,45 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
+/// Paged-KV statistics of one serving run: how full the pool ran and what
+/// the pressure cost. All zeros (and `capacity_pages == None`) under an
+/// unbounded pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct KvStats {
+    /// KV entries per page.
+    pub page_tokens: usize,
+    /// Total page capacity across all node pools (`None` = unbounded).
+    pub capacity_pages: Option<u64>,
+    /// High-water mark of mapped pages across the run.
+    pub peak_used_pages: u64,
+    /// Sessions evicted from a full pool (each re-entered the waiting queue
+    /// and re-prefilled its KV).
+    pub preemptions: u64,
+    /// KV entries dropped by evictions and prefilled a second time — the
+    /// recompute cost of preemption, in tokens.
+    pub reprefill_tokens: u64,
+    /// Pages released by evictions.
+    pub evicted_pages: u64,
+    /// Submissions rejected by admission control (queue depth bound, or a
+    /// request that could never fit the pool).
+    pub rejected_requests: u64,
+    /// Page-fault stall cycles charged by the executor for evictions.
+    pub fault_stall_cycles: u64,
+}
+
+impl KvStats {
+    /// Peak pool occupancy in `[0, 1]`, or `None` for an unbounded pool.
+    pub fn peak_occupancy(&self) -> Option<f64> {
+        self.capacity_pages.map(|cap| {
+            if cap > 0 {
+                self.peak_used_pages as f64 / cap as f64
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
 /// The aggregate outcome of one serving run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeReport {
@@ -100,6 +139,8 @@ pub struct RuntimeReport {
     /// Cycles each node spent executing micro-batches (never exceeds the
     /// makespan).
     pub node_busy_cycles: Vec<u64>,
+    /// Paged KV-cache statistics (occupancy, preemptions, rejections).
+    pub kv: KvStats,
 }
 
 impl RuntimeReport {
@@ -146,7 +187,22 @@ impl fmt::Display for RuntimeReport {
             self.tpot.p95,
             self.tpot.p99,
         )?;
-        write!(f, "trace cache: {} entries", self.trace_cache_entries)
+        writeln!(f, "trace cache: {} entries", self.trace_cache_entries)?;
+        match self.kv.capacity_pages {
+            None => write!(f, "KV pool: unbounded ({}-token pages)", self.kv.page_tokens),
+            Some(capacity) => write!(
+                f,
+                "KV pool: peak {}/{} pages ({}-token), {} preemptions ({} re-prefill tokens, \
+                 {} stall cycles), {} rejected",
+                self.kv.peak_used_pages,
+                capacity,
+                self.kv.page_tokens,
+                self.kv.preemptions,
+                self.kv.reprefill_tokens,
+                self.kv.fault_stall_cycles,
+                self.kv.rejected_requests,
+            ),
+        }
     }
 }
 
@@ -185,6 +241,7 @@ mod tests {
             noc: "4x4".to_string(),
             noc_energy_uj: 1.5,
             node_busy_cycles: vec![100_000_000; 16],
+            kv: KvStats::default(),
         };
         let text = report.to_string();
         assert!(text.contains("2000.00 tokens/s"));
@@ -193,9 +250,29 @@ mod tests {
         assert!(text.contains("7 entries"));
         assert!(text.contains("16 node(s)"));
         assert!(text.contains("4x4 mesh"));
+        assert!(text.contains("KV pool: unbounded"));
         // Utilization: 1e8 busy cycles of a 0.5 s makespan at 400 MHz = 0.5.
         let util = report.node_utilization(400e6);
         assert_eq!(util.len(), 16);
         assert!(util.iter().all(|&u| (u - 0.5).abs() < 1e-9), "{util:?}");
+        // A bounded pool renders its pressure counters.
+        let mut pressured = report.clone();
+        pressured.kv = KvStats {
+            page_tokens: 128,
+            capacity_pages: Some(256),
+            peak_used_pages: 192,
+            preemptions: 3,
+            reprefill_tokens: 980,
+            evicted_pages: 12,
+            rejected_requests: 2,
+            fault_stall_cycles: 3072,
+        };
+        let text = pressured.to_string();
+        assert!(text.contains("peak 192/256 pages"));
+        assert!(text.contains("3 preemptions"));
+        assert!(text.contains("980 re-prefill tokens"));
+        assert!(text.contains("2 rejected"));
+        assert_eq!(pressured.kv.peak_occupancy(), Some(0.75));
+        assert_eq!(KvStats::default().peak_occupancy(), None);
     }
 }

@@ -26,6 +26,18 @@ impl Default for WorkloadSpec {
     }
 }
 
+impl WorkloadSpec {
+    /// A KV-pressure workload: moderate prompts but long generations
+    /// (64–256 prompt, 48–96 output tokens) in a single burst, so the
+    /// decode population's cache footprint keeps growing long after the
+    /// prefills are done — the regime where a bounded
+    /// [`KvPool`](crate::kv::KvPool) preempts. Used by the `kv_pressure`
+    /// integration test and the `kv_sweep` bench.
+    pub fn kv_pressure() -> Self {
+        WorkloadSpec { prompt_tokens: (64, 256), output_tokens: (48, 96), arrival_spread_cycles: 0 }
+    }
+}
+
 /// Generates `count` deterministic requests round-robined across `models`
 /// with lengths drawn from `spec` (seeded `SmallRng`, like the experiment
 /// drivers).
@@ -93,5 +105,16 @@ mod tests {
     #[should_panic(expected = "models must be non-empty")]
     fn empty_models_rejected() {
         synthetic_requests(1, 4, &[], WorkloadSpec::default());
+    }
+
+    #[test]
+    fn kv_pressure_preset_is_decode_heavy() {
+        let spec = WorkloadSpec::kv_pressure();
+        let reqs = synthetic_requests(3, 16, &[ModelId::Llama2_7b], spec);
+        for r in &reqs {
+            assert!((64..=256).contains(&r.prompt_tokens));
+            assert!((48..=96).contains(&r.output_tokens));
+            assert_eq!(r.arrival_cycle, 0, "pressure comes as one burst");
+        }
     }
 }

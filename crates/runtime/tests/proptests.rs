@@ -1,13 +1,17 @@
-//! Property tests for the continuous-batching scheduler and the multi-node
-//! placement layer: liveness (no request starves), the micro-batch caps
-//! (token budget, max batch), exact output-token accounting, and the
-//! placement invariants (token conservation, per-node clocks bounded by the
-//! makespan, 1×1 placement bit-identical to the single-node executor).
+//! Property tests for the continuous-batching scheduler, the multi-node
+//! placement layer and the paged KV cache: liveness (no request starves,
+//! even under preemption), the micro-batch caps (token budget, max batch),
+//! exact output-token accounting, the placement invariants (token
+//! conservation, per-node clocks bounded by the makespan, 1×1 placement
+//! bit-identical to the single-node executor), and the paging invariants
+//! (pages never double-mapped, `free + Σ mapped == capacity` after any op
+//! sequence, an unbounded pool bit-identical to a never-full bounded one).
 
 use mugi::arch::noc::NocConfig;
 use mugi::MugiAccelerator;
 use mugi_runtime::{
-    Executor, ExecutorConfig, Placement, Request, Scheduler, SchedulerConfig, SchedulingPolicy,
+    pages_for, Executor, ExecutorConfig, KvConfig, KvPool, PageId, PageTable, Placement, Request,
+    Scheduler, SchedulerConfig, SchedulingPolicy,
 };
 use mugi_workloads::models::ModelId;
 use proptest::prelude::*;
@@ -35,6 +39,17 @@ prop_compose! {
     ) -> Request {
         let models = [ModelId::Llama2_7b, ModelId::Llama2_13b];
         Request::new(models[model_idx], prompt, output).arriving_at(arrival)
+    }
+}
+
+// One paging operation against a shared pool: table index plus a token
+// target (0 = release every page of that table).
+prop_compose! {
+    fn kv_op_strategy()(
+        table in 0usize..6,
+        tokens in 0usize..600,
+    ) -> (usize, usize) {
+        (table, tokens)
     }
 }
 
@@ -187,6 +202,121 @@ proptest! {
         let sharded = run(Some(Placement::sharded(NocConfig::single())));
         prop_assert_eq!(&base, &one_by_one);
         prop_assert_eq!(&base, &sharded);
+    }
+
+    #[test]
+    fn kv_pool_never_double_maps_and_conserves_pages(
+        capacity in 1usize..48,
+        ops in prop::collection::vec(kv_op_strategy(), 1..80),
+    ) {
+        // Random grow/release sequences over six tables sharing one pool:
+        // after *every* operation — including failed allocations — the free
+        // list plus all mapped pages must equal the capacity exactly, and
+        // no page may ever be mapped by two tables at once.
+        let page_tokens = 16;
+        let mut pool = KvPool::bounded(capacity);
+        let mut tables: Vec<PageTable> = (0..6).map(|_| PageTable::new()).collect();
+        for (t, tokens) in ops {
+            if tokens == 0 {
+                tables[t].release_all(&mut pool);
+            } else {
+                let target = pages_for(tokens, page_tokens);
+                let grew = tables[t].grow(0, &mut pool, target);
+                prop_assert_eq!(grew, tables[t].mapped_pages() >= target);
+            }
+            let mapped: usize = tables.iter().map(PageTable::mapped_pages).sum();
+            prop_assert_eq!(pool.free_pages() + mapped, capacity, "page leak or double-count");
+            let mut all: Vec<PageId> =
+                tables.iter().flat_map(|t| t.pages().iter().copied()).collect();
+            let total = all.len();
+            all.sort_unstable();
+            all.dedup();
+            prop_assert_eq!(all.len(), total, "a page is mapped by two tables");
+            prop_assert!(all.iter().all(|p| (p.0 as usize) < capacity), "page id out of range");
+        }
+    }
+
+    #[test]
+    fn bounded_kv_pools_preempt_but_every_request_still_finishes(
+        requests in prop::collection::vec(small_request_strategy(), 1..10),
+        headroom in 0usize..3,
+        sharded in any::<bool>(),
+        rows in 1usize..3,
+        cols in 1usize..3,
+    ) {
+        // Liveness under maximum KV pressure: the per-node pool is sized to
+        // the single largest request (plus 0–2 pages of headroom), so the
+        // workload constantly preempts — yet every request must finish with
+        // exact token accounting and every page must come home.
+        let page_tokens = 32;
+        let max_need = requests
+            .iter()
+            .map(|r| pages_for(r.prompt_tokens + r.output_tokens, page_tokens))
+            .max()
+            .unwrap();
+        let kv = KvConfig::bounded(page_tokens, max_need + headroom);
+        let noc = NocConfig { rows, cols };
+        let placement =
+            if sharded { Placement::sharded(noc) } else { Placement::data_parallel(noc) };
+        let mut ex = Executor::with_placement(
+            MugiAccelerator::new(64),
+            Scheduler::with_kv(SchedulerConfig::default(), kv),
+            ExecutorConfig { kv_bucket: page_tokens, ..ExecutorConfig::default() },
+            placement,
+        );
+        for r in &requests {
+            ex.submit(*r);
+        }
+        let report = ex.run();
+        prop_assert_eq!(report.requests.len(), requests.len());
+        let expected: u64 = requests.iter().map(|r| r.output_tokens as u64).sum();
+        prop_assert_eq!(report.total_output_tokens, expected);
+        for s in ex.scheduler().sessions() {
+            prop_assert!(s.is_finished(), "a preempted session starved");
+            prop_assert_eq!(s.generated_tokens, s.request.output_tokens);
+            prop_assert_eq!(s.page_table.mapped_pages(), 0, "finished sessions hold pages");
+        }
+        prop_assert_eq!(ex.scheduler().kv_used_pages(), 0, "pages leaked");
+        let capacity = report.kv.capacity_pages.unwrap();
+        prop_assert!(report.kv.peak_used_pages <= capacity);
+        // Stall accounting is exact: a fixed fault cost per evicted page.
+        prop_assert_eq!(
+            report.kv.fault_stall_cycles,
+            report.kv.evicted_pages * ExecutorConfig::default().fault_stall_cycles
+        );
+        // Preemption implies recompute debt and vice versa.
+        prop_assert_eq!(report.kv.preemptions > 0, report.kv.reprefill_tokens > 0);
+    }
+
+    #[test]
+    fn unbounded_pool_is_bit_identical_to_a_never_full_bounded_one(
+        requests in prop::collection::vec(small_request_strategy(), 1..8),
+        spf in any::<bool>(),
+    ) {
+        // The regression oracle for the whole paging layer: with capacity
+        // that never binds, every per-request statistic (TTFT, TPOT, energy,
+        // micro-batch counts) and every aggregate must match the unbounded
+        // (pre-paging) executor bit for bit — the bookkeeping may not
+        // perturb scheduling at all.
+        let policy =
+            if spf { SchedulingPolicy::ShortestPrefillFirst } else { SchedulingPolicy::Fcfs };
+        let config = SchedulerConfig { policy, ..SchedulerConfig::default() };
+        let run = |kv: KvConfig| {
+            let mut ex = Executor::new(MugiAccelerator::new(64), Scheduler::with_kv(config, kv));
+            for r in &requests {
+                ex.submit(*r);
+            }
+            ex.run()
+        };
+        let unbounded = run(KvConfig::unbounded());
+        let bounded = run(KvConfig::bounded(128, 1 << 20));
+        prop_assert_eq!(bounded.kv.preemptions, 0);
+        prop_assert_eq!(bounded.kv.fault_stall_cycles, 0);
+        prop_assert!(bounded.kv.peak_used_pages > 0, "the bounded run did page its KV");
+        // Identical modulo the KV bookkeeping block itself.
+        let mut bounded_sans_kv = bounded.clone();
+        bounded_sans_kv.kv = unbounded.kv;
+        prop_assert_eq!(&unbounded, &bounded_sans_kv);
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //! Submits 72 concurrent requests across three models (Llama 2 7B / 13B /
 //! 70B), runs the FCFS and shortest-prefill-first schedulers to completion,
 //! and prints per-request TTFT/TPOT statistics plus aggregate percentiles.
-//! Also demonstrates that the parallel blocked GEMM behind the functional
-//! path is bit-identical to the naive reference kernel.
+//! Then serves a decode-heavy workload against a *bounded* paged KV pool
+//! (2 GiB budget) to show recompute-style preemption: sessions are evicted
+//! under pressure, re-prefill, and still all finish. Also demonstrates that
+//! the parallel blocked GEMM behind the functional path is bit-identical to
+//! the naive reference kernel.
 //!
 //! Run with: `cargo run --release --example serving`
 
@@ -12,7 +15,8 @@ use mugi::MugiAccelerator;
 use mugi_numerics::exec::ExecutionContext;
 use mugi_numerics::tensor::{matmul_naive, pseudo_random_matrix};
 use mugi_runtime::{
-    synthetic_requests, Executor, Scheduler, SchedulerConfig, SchedulingPolicy, WorkloadSpec,
+    synthetic_requests, Executor, KvConfig, Scheduler, SchedulerConfig, SchedulingPolicy,
+    WorkloadSpec,
 };
 use mugi_workloads::models::ModelId;
 
@@ -77,4 +81,22 @@ fn main() {
         assert_eq!(report.requests.len(), requests.len(), "every request must finish");
         assert!(report.requests.iter().all(|r| r.ttft_s > 0.0));
     }
+
+    // The same engine with a *bounded* paged KV pool: a 2 GiB-per-node
+    // budget for the 7B model. Preempted sessions drop their pages,
+    // re-prefill and still finish — the report's KV line shows the cost.
+    let kv = KvConfig::for_budget(ModelId::Llama2_7b, 2 << 30, 128);
+    println!("\n=== paged KV: {} pages of 128 tokens (2 GiB budget) ===", kv.node_pages.unwrap());
+    let mut engine = Executor::new(
+        MugiAccelerator::with_context(256, ctx),
+        Scheduler::with_kv(SchedulerConfig::default(), kv),
+    );
+    let pressured =
+        synthetic_requests(2026, 24, &[ModelId::Llama2_7b], WorkloadSpec::kv_pressure());
+    for request in &pressured {
+        engine.submit(*request);
+    }
+    let report = engine.run();
+    println!("{report}");
+    assert_eq!(report.requests.len(), pressured.len(), "preemption never drops a request");
 }
