@@ -69,6 +69,27 @@ impl NocConfig {
         bytes as f64 * self.average_hops() * cost.noc_energy_pj_per_byte_hop
     }
 
+    /// Bytes one physical channel moves per cycle per link (the mesh links
+    /// are as wide as one HBM pseudo-channel burst).
+    pub const LINK_BYTES_PER_CYCLE: usize = 64;
+
+    /// Cycles to move `bytes` across the mesh: a pipelined transfer over the
+    /// three physical channels at [`NocConfig::LINK_BYTES_PER_CYCLE`] each,
+    /// plus the average hop count as head latency. Zero on a single node
+    /// (nothing crosses a link) and for zero bytes.
+    ///
+    /// This is the latency half of the NoC transfer model — used by the
+    /// serving runtime to stall a receiving node while a migrated KV cache
+    /// streams in — while [`NocConfig::transfer_energy_pj`] is the energy
+    /// half.
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        if self.nodes() <= 1 || bytes == 0 {
+            return 0;
+        }
+        let bandwidth = (Self::CHANNELS * Self::LINK_BYTES_PER_CYCLE) as u64;
+        bytes.div_ceil(bandwidth) + self.average_hops().ceil() as u64
+    }
+
     /// Parallel speedup for a workload tiled evenly across the mesh: linear in
     /// node count, derated by a per-node tiling efficiency that accounts for
     /// edge tiles and inter-node accumulation (the paper's NoC results scale
@@ -139,6 +160,22 @@ mod tests {
             let expected = mesh.nodes() as f64 * cost.noc_router_area_mm2 * 3.0;
             assert_eq!(mesh.router_area_mm2(&cost), expected, "{}", mesh.label());
         }
+    }
+
+    #[test]
+    fn transfer_cycles_scale_with_bytes_and_vanish_on_one_node() {
+        let mesh = NocConfig::mesh_4x4();
+        assert_eq!(NocConfig::single().transfer_cycles(1 << 20), 0);
+        assert_eq!(mesh.transfer_cycles(0), 0);
+        // Pipelined: bytes / (3 channels × 64 B) rounded up, plus ⌈hops⌉.
+        let bandwidth = (NocConfig::CHANNELS * NocConfig::LINK_BYTES_PER_CYCLE) as u64;
+        let hops = mesh.average_hops().ceil() as u64;
+        assert_eq!(mesh.transfer_cycles(1), 1 + hops);
+        assert_eq!(mesh.transfer_cycles(bandwidth), 1 + hops);
+        assert_eq!(mesh.transfer_cycles(bandwidth + 1), 2 + hops);
+        assert_eq!(mesh.transfer_cycles(10 * bandwidth), 10 + hops);
+        // A bigger mesh has more hops, so the same payload takes longer.
+        assert!(NocConfig::mesh_8x8().transfer_cycles(1 << 20) > mesh.transfer_cycles(1 << 20));
     }
 
     #[test]

@@ -44,6 +44,7 @@ fn main() {
                         token_budget,
                         prefill_chunk: 512,
                         policy,
+                        ..SchedulerConfig::default()
                     }),
                 );
                 for r in &requests {

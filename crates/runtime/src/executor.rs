@@ -17,6 +17,15 @@
 //!   (inter-node accumulation): the step takes `1 / throughput_multiplier`
 //!   of its single-node cycles while the NoC transfer model charges the
 //!   activation and partial-sum movement between nodes.
+//! * **disaggregated** — the mesh splits into prefill and decode pools:
+//!   every batch is pure (phase-filtered per node), and when a prefill
+//!   completes the executor *migrates* the session's KV pages to a decode
+//!   node — charging `NocConfig::transfer_energy_pj` for the cache bytes
+//!   and stalling the receiving node for `NocConfig::transfer_cycles` —
+//!   instead of recomputing the prefill on the decode side. `ready_cycle`
+//!   keeps the handoff causal: the first decode step cannot start before
+//!   the pages land. Swap-style preemption rides the same machinery in
+//!   reverse.
 //!
 //! Completion effects are applied at the batch's end cycle and sessions
 //! become schedulable again only then, so overlapping execution stays
@@ -26,12 +35,13 @@
 //! 64-context one.
 
 use crate::kv::AdmissionError;
-use crate::placement::{NodePool, Placement, PlacementPolicy};
-use crate::request::{Request, RequestId};
-use crate::scheduler::{BatchItem, MicroBatch, Scheduler};
+use crate::placement::{NodePool, Placement, PlacementPolicy, PoolRole};
+use crate::request::{Request, RequestId, Session, SessionState};
+use crate::scheduler::{BatchItem, MicroBatch, PhaseFilter, Scheduler};
 use crate::stats::{KvStats, Percentiles, RequestStats, RuntimeReport};
 use mugi::arch::cost::CostModel;
 use mugi::MugiAccelerator;
+use mugi_workloads::ops::Phase;
 use serde::{Deserialize, Serialize};
 
 /// Executor configuration.
@@ -51,12 +61,19 @@ pub struct ExecutorConfig {
     /// its prefill. Zero evictions — in particular any unbounded pool —
     /// charge nothing.
     pub fault_stall_cycles: u64,
+    /// Retire finished sessions incrementally: their statistics fold into
+    /// the report as they finish and the scheduler drops them, so neither
+    /// the session window nor the executor's accounting grows without bound
+    /// on long request streams. Off by default — with it on,
+    /// [`Scheduler::sessions`] only exposes the unretired tail (the report
+    /// is unaffected).
+    pub retire_finished: bool,
 }
 
 impl Default for ExecutorConfig {
-    /// 128-entry KV pages, 256-cycle page faults.
+    /// 128-entry KV pages, 256-cycle page faults, no incremental retirement.
     fn default() -> Self {
-        ExecutorConfig { kv_bucket: 128, fault_stall_cycles: 256 }
+        ExecutorConfig { kv_bucket: 128, fault_stall_cycles: 256, retire_finished: false }
     }
 }
 
@@ -66,6 +83,8 @@ struct Accounting {
     energy_pj: f64,
     noc_energy_pj: f64,
     micro_batches: u64,
+    kv_transfer_bytes: u64,
+    kv_transfer_energy_pj: f64,
 }
 
 /// A dispatched micro-batch whose completion effects are still pending.
@@ -92,12 +111,35 @@ pub struct Executor {
     clock_cycles: u64,
     steps: u64,
     accounting: Vec<Accounting>,
+    /// Ids below this have had their accounting retired into
+    /// `retired_stats`; session `id`'s slot lives at `id - acct_base`.
+    acct_base: usize,
+    /// Statistics of sessions already retired from the scheduler (only
+    /// populated under [`ExecutorConfig::retire_finished`]).
+    retired_stats: Vec<RequestStats>,
+    /// NoC energy of retired accounting slots in pJ, folded in id order so
+    /// the report total matches a never-retiring run bit for bit.
+    retired_noc_energy_pj: f64,
     /// Whether each node has its own KV pool (bounded data-parallel
     /// placement): dispatch must then consider every idle node, since a
     /// session may only run where its pages live.
     multi_pool: bool,
+    /// Whether the placement disaggregates prefill from decode: dispatch
+    /// phase-filters every node and completed prefills migrate their KV
+    /// pages to a decode node.
+    disagg: bool,
+    /// Sessions whose KV pages are waiting to move into a decode pool —
+    /// completed prefills plus swapped-out victims. Retried after every
+    /// completion (completions are what free decode-pool pages).
+    pending_migrations: Vec<RequestId>,
     /// Page-fault stall cycles charged so far.
     fault_stall_cycles: u64,
+    /// KV bytes moved between pools over the NoC so far.
+    transfer_bytes: u64,
+    /// NoC energy spent on those transfers, in pJ.
+    transfer_energy_pj: f64,
+    /// Stall cycles spent streaming KV transfers.
+    transfer_stall_cycles: u64,
 }
 
 impl Executor {
@@ -143,17 +185,35 @@ impl Executor {
             );
         }
         // Partition the bounded KV capacity to match the placement: each
-        // data-parallel node owns its pages; a sharded mesh tiles every
-        // session's KV across all nodes, so it forms one aggregate pool.
+        // data-parallel or disaggregated node owns its pages (prefill /
+        // decode roles marking the disaggregated split); a sharded mesh
+        // tiles every session's KV across all nodes, so it forms one
+        // aggregate pool.
         match placement.policy {
             PlacementPolicy::DataParallel => scheduler.configure_kv_pools(placement.nodes(), 1),
             PlacementPolicy::Sharded => scheduler.configure_kv_pools(1, placement.nodes()),
+            PlacementPolicy::Disaggregated { prefill_nodes, decode_nodes } => {
+                assert!(
+                    prefill_nodes > 0 && decode_nodes > 0,
+                    "disaggregation needs at least one prefill node and one decode node"
+                );
+                assert_eq!(
+                    prefill_nodes + decode_nodes,
+                    placement.nodes(),
+                    "the prefill and decode pools must partition the mesh exactly"
+                );
+                let roles: Vec<PoolRole> =
+                    (0..placement.nodes()).map(|i| placement.node_role(i)).collect();
+                scheduler.configure_kv_pools_with_roles(&roles, 1);
+            }
         }
+        let disagg = matches!(placement.policy, PlacementPolicy::Disaggregated { .. });
         let multi_pool =
             bounded && placement.policy == PlacementPolicy::DataParallel && placement.nodes() > 1;
         // The scheduler may already hold sessions submitted before the
         // executor was constructed; give each one an accounting slot.
         let accounting = vec![Accounting::default(); scheduler.sessions().len()];
+        let acct_base = scheduler.retired_session_count();
         let cost = accel.cost_model();
         let pool = NodePool::new(placement.nodes());
         Executor {
@@ -167,16 +227,24 @@ impl Executor {
             clock_cycles: 0,
             steps: 0,
             accounting,
+            acct_base,
+            retired_stats: Vec::new(),
+            retired_noc_energy_pj: 0.0,
             multi_pool,
+            disagg,
+            pending_migrations: Vec::new(),
             fault_stall_cycles: 0,
+            transfer_bytes: 0,
+            transfer_energy_pj: 0.0,
+            transfer_stall_cycles: 0,
         }
     }
 
     /// Submits a request to the underlying scheduler.
     ///
     /// # Panics
-    /// Panics if admission control rejects the request (only possible under
-    /// a bounded [`KvConfig`](crate::kv::KvConfig)); use
+    /// Panics if admission control rejects the request (only possible with
+    /// a bounded [`KvConfig`](crate::kv::KvConfig) or an SLO bound set); use
     /// [`Executor::try_submit`] to treat rejection as backpressure.
     pub fn submit(&mut self, request: Request) -> RequestId {
         let id = self.scheduler.submit(request);
@@ -185,8 +253,9 @@ impl Executor {
     }
 
     /// Submits a request unless the scheduler's admission control rejects
-    /// it (queue depth bound reached, or the request could never fit the KV
-    /// pool). Rejections are counted in the report's KV statistics.
+    /// it (queue depth bound reached, projected TTFT past a configured SLO
+    /// target, or the request could never fit the KV pool). Rejections are
+    /// counted in the report's KV statistics.
     pub fn try_submit(&mut self, request: Request) -> Result<RequestId, AdmissionError> {
         let id = self.scheduler.try_submit(request)?;
         self.accounting.push(Accounting::default());
@@ -230,18 +299,45 @@ impl Executor {
         self.fault_stall_cycles
     }
 
+    /// KV bytes migrated between pools over the NoC so far (prefill→decode
+    /// handoffs, swap-outs and swap-ins; zero under colocated placement).
+    pub fn kv_transfer_bytes(&self) -> u64 {
+        self.transfer_bytes
+    }
+
+    /// Stall cycles spent streaming KV transfers so far.
+    pub fn kv_transfer_stall_cycles(&self) -> u64 {
+        self.transfer_stall_cycles
+    }
+
+    /// Sessions whose KV pages are still waiting for room in a decode pool.
+    pub fn pending_migration_count(&self) -> usize {
+        self.pending_migrations.len()
+    }
+
     /// Free KV pages of the pool node `i` allocates from, or `None` under an
     /// unbounded configuration.
     pub fn kv_free_pages(&self, i: usize) -> Option<usize> {
         self.scheduler.kv_free_pages(self.pool_for(i))
     }
 
-    /// The KV pool node `i` allocates from: its own under data-parallel
-    /// placement, the single aggregate pool under sharded placement.
+    /// The KV pool node `i` allocates from: its own under data-parallel and
+    /// disaggregated placement, the single aggregate pool under sharded
+    /// placement.
     fn pool_for(&self, i: usize) -> usize {
         match self.placement.policy {
-            PlacementPolicy::DataParallel => i,
+            PlacementPolicy::DataParallel | PlacementPolicy::Disaggregated { .. } => i,
             PlacementPolicy::Sharded => 0,
+        }
+    }
+
+    /// The phases node `i` may execute: both on every colocated policy,
+    /// split by node role under disaggregation.
+    fn phase_for(&self, i: usize) -> PhaseFilter {
+        match self.placement.node_role(i) {
+            PoolRole::Colocated => PhaseFilter::Both,
+            PoolRole::Prefill => PhaseFilter::PrefillOnly,
+            PoolRole::Decode => PhaseFilter::DecodeOnly,
         }
     }
 
@@ -249,8 +345,15 @@ impl Executor {
     fn occupied(&self, i: usize) -> bool {
         match self.placement.policy {
             PlacementPolicy::Sharded => !self.in_flight.is_empty(),
-            PlacementPolicy::DataParallel => self.in_flight.iter().any(|f| f.node == i),
+            PlacementPolicy::DataParallel | PlacementPolicy::Disaggregated { .. } => {
+                self.in_flight.iter().any(|f| f.node == i)
+            }
         }
+    }
+
+    /// Accounting slot of session `id`.
+    fn aidx(&self, id: RequestId) -> usize {
+        (id.0 as usize).checked_sub(self.acct_base).expect("accounting slot was retired")
     }
 
     /// Index (into `in_flight`) of the earliest-finishing pending batch.
@@ -258,11 +361,126 @@ impl Executor {
         (0..self.in_flight.len()).min_by_key(|&i| (self.in_flight[i].end, i))
     }
 
-    /// Applies the completion effects of `in_flight[idx]`.
+    /// Applies the completion effects of `in_flight[idx]`. Under
+    /// disaggregated placement this is also where KV handoffs happen:
+    /// freshly completed prefills queue for migration, and every pending
+    /// migration is retried (a completion is exactly what frees decode-pool
+    /// pages or produces new movable KV).
     fn finish(&mut self, idx: usize) {
         let pending = self.in_flight.remove(idx);
         self.scheduler.complete(&pending.batch, pending.end);
         self.clock_cycles = self.clock_cycles.max(pending.end);
+        if self.disagg {
+            for item in &pending.batch.items {
+                if item.phase != Phase::Prefill {
+                    continue;
+                }
+                let s = self.scheduler.session(item.id);
+                if s.state == SessionState::Decoding && !self.pending_migrations.contains(&item.id)
+                {
+                    self.pending_migrations.push(item.id);
+                }
+            }
+            self.service_migrations(pending.end);
+        }
+        if self.config.retire_finished {
+            self.retire_finished();
+        }
+    }
+
+    /// Retries every queued KV migration at simulated cycle `now`, oldest
+    /// first: a session still awaiting a decode pool keeps its place in the
+    /// queue; a session that finished first (single-token outputs) or was
+    /// recompute-evicted while waiting is dropped. A session whose
+    /// `ready_cycle` lies in the future keeps waiting too — a swap-out
+    /// victim's outbound transfer must finish streaming before the pages
+    /// can turn around and swap back in.
+    fn service_migrations(&mut self, now: u64) {
+        let bounded = self.scheduler.kv_config().is_bounded();
+        let mut i = 0;
+        while i < self.pending_migrations.len() {
+            let id = self.pending_migrations[i];
+            let s = self.scheduler.session(id);
+            let stale = s.is_finished()
+                || s.state != SessionState::Decoding
+                || (bounded
+                    && !matches!(
+                        s.page_table.home(),
+                        Some(p) if self.scheduler.pool_role(p) == PoolRole::Prefill
+                    ));
+            if stale {
+                self.pending_migrations.remove(i);
+                continue;
+            }
+            if s.ready_cycle > now {
+                i += 1; // pages still in flight outbound; retry later
+                continue;
+            }
+            let pages = s.page_table.mapped_pages();
+            let Some(node) = self.migration_target(pages, bounded) else {
+                i += 1; // no decode pool has room yet; retry next completion
+                continue;
+            };
+            let Some(migration) = self.scheduler.migrate_session(id, self.pool_for(node)) else {
+                i += 1;
+                continue;
+            };
+            // The pages stream over the NoC: the session cannot decode, and
+            // the receiving node cannot start new work, until they land.
+            let cycles = self.placement.noc.transfer_cycles(migration.bytes);
+            let energy = self.placement.noc.transfer_energy_pj(migration.bytes, &self.cost);
+            self.scheduler.stall_session_until(id, now + cycles);
+            self.pool.wait_until(node, now + cycles);
+            let slot = self.aidx(id);
+            let acct = &mut self.accounting[slot];
+            acct.kv_transfer_bytes += migration.bytes;
+            acct.kv_transfer_energy_pj += energy;
+            self.transfer_bytes += migration.bytes;
+            self.transfer_energy_pj += energy;
+            self.transfer_stall_cycles += cycles;
+            self.pending_migrations.remove(i);
+        }
+    }
+
+    /// The decode node to migrate `pages` KV pages onto: with per-node pools
+    /// the one with the most free pages that fits them (ties to the lowest
+    /// index), with an unbounded pool the one with the earliest clock.
+    fn migration_target(&self, pages: usize, bounded: bool) -> Option<usize> {
+        let decode_nodes =
+            (0..self.pool.len()).filter(|&i| self.placement.node_role(i) == PoolRole::Decode);
+        if bounded {
+            decode_nodes
+                .filter(|&i| {
+                    self.scheduler.kv_free_pages(self.pool_for(i)).is_some_and(|free| free >= pages)
+                })
+                .max_by_key(|&i| {
+                    (self.scheduler.kv_free_pages(self.pool_for(i)), std::cmp::Reverse(i))
+                })
+        } else {
+            self.pool.earliest(decode_nodes)
+        }
+    }
+
+    /// Folds the statistics of every finished session at the front of the
+    /// session window into `retired_stats` and drops the sessions plus
+    /// their accounting slots.
+    fn retire_finished(&mut self) {
+        let prefix = self.scheduler.sessions().iter().take_while(|s| s.is_finished()).count();
+        if prefix == 0 {
+            return;
+        }
+        let stats: Vec<RequestStats> = self.scheduler.sessions()[..prefix]
+            .iter()
+            .filter_map(|s| self.session_stats(s))
+            .collect();
+        self.retired_stats.extend(stats);
+        let retired = self.scheduler.retire_finished_prefix();
+        debug_assert_eq!(retired, prefix);
+        for a in &self.accounting[..retired] {
+            self.retired_noc_energy_pj += a.noc_energy_pj;
+        }
+        self.accounting.drain(..retired);
+        self.acct_base += retired;
     }
 
     /// Dispatches one micro-batch. Returns `false` once every submitted
@@ -310,7 +528,9 @@ impl Executor {
                     continue;
                 }
             }
-            let tries = if self.multi_pool { idle.len() } else { 1 };
+            // Disaggregated nodes differ by phase even with a shared or
+            // unbounded pool, so every idle node must be tried there too.
+            let tries = if self.multi_pool || self.disagg { idle.len() } else { 1 };
             for &node in &idle[..tries] {
                 let node_now = self.pool.free_at(node);
                 // Later idle nodes have later clocks; completions in between
@@ -321,9 +541,11 @@ impl Executor {
                         continue 'outer;
                     }
                 }
-                if let Some(batch) =
-                    self.scheduler.next_micro_batch_on(node_now, self.pool_for(node))
-                {
+                if let Some(batch) = self.scheduler.next_micro_batch_phased(
+                    node_now,
+                    self.pool_for(node),
+                    self.phase_for(node),
+                ) {
                     self.dispatch(node, batch, node_now);
                     return true;
                 }
@@ -358,7 +580,7 @@ impl Executor {
         let noc = self.placement.noc;
         let (step_cycles, compute_energy_pj, noc_energy_pj, attention_energy_pj) =
             match self.placement.policy {
-                PlacementPolicy::DataParallel => {
+                PlacementPolicy::DataParallel | PlacementPolicy::Disaggregated { .. } => {
                     let perf = self.accel.estimate_micro_batch(batch.model, &slices);
                     let cycles = perf.node.total_cycles.max(1);
                     let energy = perf.node.dynamic_energy_pj
@@ -384,17 +606,43 @@ impl Executor {
         // pools never evict, so this is exactly zero there.
         let stall_cycles = batch.evicted_pages as u64 * self.config.fault_stall_cycles;
         self.fault_stall_cycles += stall_cycles;
-        let step_cycles = step_cycles + stall_cycles;
+        // Swap-outs stall the step while the victims' KV streams out over
+        // the NoC; each victim is charged the transfer energy and queued to
+        // swap back in. The transfers share the outbound window
+        // `[start, start + swap_stall_cycles)`: until it closes, the victim
+        // may not swap back in (`ready_cycle`, enforced by
+        // `service_migrations`) and the receiving prefill node may not start
+        // new work.
+        let swap_bytes: u64 = batch.swapped_out.iter().map(|s| s.bytes).sum();
+        let swap_stall_cycles = noc.transfer_cycles(swap_bytes);
+        for swap in &batch.swapped_out {
+            let energy = noc.transfer_energy_pj(swap.bytes, &self.cost);
+            let slot = self.aidx(swap.id);
+            let acct = &mut self.accounting[slot];
+            acct.kv_transfer_bytes += swap.bytes;
+            acct.kv_transfer_energy_pj += energy;
+            self.transfer_bytes += swap.bytes;
+            self.transfer_energy_pj += energy;
+            self.scheduler.stall_session_until(swap.id, start + swap_stall_cycles);
+            self.pool.wait_until(swap.to_pool, start + swap_stall_cycles);
+            debug_assert!(!self.pending_migrations.contains(&swap.id));
+            self.pending_migrations.push(swap.id);
+        }
+        self.transfer_stall_cycles += swap_stall_cycles;
+        let step_cycles = step_cycles + stall_cycles + swap_stall_cycles;
         let end = start + step_cycles;
         match self.placement.policy {
-            PlacementPolicy::DataParallel => self.pool.dispatch_one(node, start, step_cycles),
+            PlacementPolicy::DataParallel | PlacementPolicy::Disaggregated { .. } => {
+                self.pool.dispatch_one(node, start, step_cycles)
+            }
             PlacementPolicy::Sharded => self.pool.dispatch_all(start, step_cycles),
         }
         self.steps += 1;
         let shares = attribute_step_energy(&batch.items, compute_energy_pj, attention_energy_pj);
         let total_tokens = batch.total_tokens().max(1) as f64;
         for (item, share) in batch.items.iter().zip(shares) {
-            let acct = &mut self.accounting[item.id.0 as usize];
+            let slot = self.aidx(item.id);
+            let acct = &mut self.accounting[slot];
             acct.energy_pj += share;
             acct.noc_energy_pj += noc_energy_pj * item.tokens as f64 / total_tokens;
             acct.micro_batches += 1;
@@ -408,35 +656,48 @@ impl Executor {
         self.report()
     }
 
+    /// The statistics of one finished session (`None` while it is still
+    /// running).
+    fn session_stats(&self, s: &Session) -> Option<RequestStats> {
+        let freq = self.accel.frequency_hz();
+        let to_s = |cycles: u64| cycles as f64 / freq;
+        let (Some(first), Some(finish)) = (s.first_token_cycle, s.finish_cycle) else {
+            return None;
+        };
+        let arrival = s.request.arrival_cycle;
+        let outputs = s.generated_tokens;
+        let acct = &self.accounting[self.aidx(s.id)];
+        let tpot_s = if outputs > 1 { to_s(finish - first) / (outputs - 1) as f64 } else { 0.0 };
+        let e2e_s = to_s(finish - arrival);
+        Some(RequestStats {
+            id: s.id,
+            model: s.request.model,
+            prompt_tokens: s.request.prompt_tokens,
+            output_tokens: outputs,
+            ttft_s: to_s(first - arrival),
+            tpot_s,
+            e2e_s,
+            tokens_per_s: if e2e_s > 0.0 { outputs as f64 / e2e_s } else { 0.0 },
+            energy_uj: acct.energy_pj * 1e-6,
+            noc_energy_uj: acct.noc_energy_pj * 1e-6,
+            kv_transfer_bytes: acct.kv_transfer_bytes,
+            kv_transfer_energy_uj: acct.kv_transfer_energy_pj * 1e-6,
+            micro_batches: acct.micro_batches,
+        })
+    }
+
     /// Builds the report for the work completed so far. Unfinished sessions
-    /// (if any) are excluded from the per-request statistics.
+    /// (if any) are excluded from the per-request statistics; sessions
+    /// retired incrementally ([`ExecutorConfig::retire_finished`]) are
+    /// included from the retired set.
     pub fn report(&self) -> RuntimeReport {
         let freq = self.accel.frequency_hz();
         let to_s = |cycles: u64| cycles as f64 / freq;
-        let mut requests = Vec::new();
+        let mut requests = self.retired_stats.clone();
         for s in self.scheduler.sessions() {
-            let (Some(first), Some(finish)) = (s.first_token_cycle, s.finish_cycle) else {
-                continue;
-            };
-            let arrival = s.request.arrival_cycle;
-            let outputs = s.generated_tokens;
-            let acct = &self.accounting[s.id.0 as usize];
-            let tpot_s =
-                if outputs > 1 { to_s(finish - first) / (outputs - 1) as f64 } else { 0.0 };
-            let e2e_s = to_s(finish - arrival);
-            requests.push(RequestStats {
-                id: s.id,
-                model: s.request.model,
-                prompt_tokens: s.request.prompt_tokens,
-                output_tokens: outputs,
-                ttft_s: to_s(first - arrival),
-                tpot_s,
-                e2e_s,
-                tokens_per_s: if e2e_s > 0.0 { outputs as f64 / e2e_s } else { 0.0 },
-                energy_uj: acct.energy_pj * 1e-6,
-                noc_energy_uj: acct.noc_energy_pj * 1e-6,
-                micro_batches: acct.micro_batches,
-            });
+            if let Some(stats) = self.session_stats(s) {
+                requests.push(stats);
+            }
         }
         let total_output_tokens: u64 = requests.iter().map(|r| r.output_tokens as u64).sum();
         let makespan_s = to_s(self.clock_cycles);
@@ -459,7 +720,16 @@ impl Executor {
             trace_cache_entries: self.accel.trace_cache_entries(),
             nodes: self.pool.len(),
             noc: self.placement.noc.label(),
-            noc_energy_uj: self.accounting.iter().map(|a| a.noc_energy_pj).sum::<f64>() * 1e-6,
+            noc_energy_uj: {
+                // Start from the retired prefix and fold the live window in
+                // id order — the same addition sequence as a never-retiring
+                // run, so retirement cannot perturb the total bit-wise.
+                let mut total_pj = self.retired_noc_energy_pj;
+                for a in &self.accounting {
+                    total_pj += a.noc_energy_pj;
+                }
+                total_pj * 1e-6
+            },
             node_busy_cycles: self.pool.busy().to_vec(),
             kv: KvStats {
                 page_tokens: self.scheduler.kv_config().page_tokens,
@@ -470,6 +740,13 @@ impl Executor {
                 evicted_pages: self.scheduler.evicted_page_count(),
                 rejected_requests: self.scheduler.rejected_count(),
                 fault_stall_cycles: self.fault_stall_cycles,
+                migrations: self.scheduler.migration_count(),
+                migrated_pages: self.scheduler.migrated_page_count(),
+                swap_outs: self.scheduler.swap_out_count(),
+                swapped_pages: self.scheduler.swapped_page_count(),
+                transfer_bytes: self.transfer_bytes,
+                transfer_energy_uj: self.transfer_energy_pj * 1e-6,
+                transfer_stall_cycles: self.transfer_stall_cycles,
             },
         }
     }

@@ -13,7 +13,15 @@
 //!   session's KV lives on;
 //! * when the pool runs dry the scheduler *preempts*: the most recently
 //!   admitted page-holder is evicted, drops its pages, re-enters the waiting
-//!   queue and pays re-prefill on readmission (recompute-style preemption).
+//!   queue and pays re-prefill on readmission (recompute-style preemption) —
+//!   or, under [`PreemptionMode::Swap`] with disaggregated placement, its
+//!   pages are paged out over the NoC into a prefill pool instead
+//!   ([`PageTable::migrate`]) and paged back in later, trading re-prefill
+//!   compute for transfer energy and latency;
+//! * under disaggregated placement a completed prefill's pages *migrate*
+//!   from their prefill pool to a decode pool ([`PageTable::migrate`]),
+//!   which the executor charges as a NoC transfer, rather than being
+//!   recomputed on the decode side.
 //!
 //! An **unbounded** configuration ([`KvConfig::unbounded`], the default)
 //! disables all bookkeeping: no pages are tracked, no session is ever
@@ -31,6 +39,10 @@
 use mugi_workloads::models::ModelId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// KV-cache precision in bits per value (BF16), used to convert a session's
+/// KV length into NoC transfer bytes when pages migrate between pools.
+pub const KV_BITS: usize = 16;
 
 /// Handle of one physical KV page inside a [`KvPool`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -54,6 +66,39 @@ pub fn pages_for(tokens: usize, page_tokens: usize) -> usize {
     tokens.div_ceil(page_tokens).max(1)
 }
 
+/// What happens to a session evicted from a full KV pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PreemptionMode {
+    /// Drop the victim's pages; the victim re-enters the waiting queue and
+    /// recomputes its whole KV by prefilling again (the pre-disaggregation
+    /// behaviour, and the only possible one under colocated placement).
+    #[default]
+    Recompute,
+    /// Page the victim's KV out over the NoC into a prefill pool instead of
+    /// dropping it: the victim keeps its cache and is paged back into a
+    /// decode pool later (swap-style preemption). Only possible under
+    /// disaggregated placement when a prefill pool has room; falls back to
+    /// [`PreemptionMode::Recompute`] otherwise.
+    Swap,
+}
+
+/// Projected-TTFT admission bound: reject a submission when the prefill
+/// backlog queued ahead of it at its arrival cycle (plus the new prompt)
+/// projects past the target.
+///
+/// The projection is deliberately crude — backlog tokens × a static
+/// cycles-per-prefill-token service-rate estimate, counting only sessions
+/// that arrive no later than the new request — but unlike the blunt
+/// queue-depth bound it scales with *work*, so a few long prompts and many
+/// short ones are treated alike.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SloConfig {
+    /// Maximum acceptable projected TTFT in cycles.
+    pub target_ttft_cycles: u64,
+    /// Service-rate estimate: cycles one prefill token costs end to end.
+    pub cycles_per_prefill_token: u64,
+}
+
 /// Static configuration of the paged KV cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct KvConfig {
@@ -69,6 +114,11 @@ pub struct KvConfig {
     /// rejected — the backpressure signal a workload generator sees. `None`
     /// admits everything.
     pub max_live_sessions: Option<usize>,
+    /// What eviction from a full pool costs the victim: recompute (default)
+    /// or a NoC swap-out to a prefill pool (disaggregated placement only).
+    pub preemption: PreemptionMode,
+    /// Optional projected-TTFT admission bound (off by default).
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for KvConfig {
@@ -82,7 +132,13 @@ impl KvConfig {
     /// No capacity limit and no admission bound: bit-identical to a runtime
     /// without KV accounting.
     pub fn unbounded() -> Self {
-        KvConfig { page_tokens: 128, node_pages: None, max_live_sessions: None }
+        KvConfig {
+            page_tokens: 128,
+            node_pages: None,
+            max_live_sessions: None,
+            preemption: PreemptionMode::Recompute,
+            slo: None,
+        }
     }
 
     /// A bounded pool of `node_pages` pages of `page_tokens` KV entries on
@@ -93,7 +149,7 @@ impl KvConfig {
     pub fn bounded(page_tokens: usize, node_pages: usize) -> Self {
         assert!(page_tokens > 0, "page_tokens must be non-zero");
         assert!(node_pages > 0, "node_pages must be non-zero");
-        KvConfig { page_tokens, node_pages: Some(node_pages), max_live_sessions: None }
+        KvConfig { page_tokens, node_pages: Some(node_pages), ..KvConfig::unbounded() }
     }
 
     /// Sizes a bounded pool from a per-node KV-byte budget and the dominant
@@ -105,7 +161,7 @@ impl KvConfig {
     /// Panics if `page_tokens` is zero or the budget is smaller than one
     /// page.
     pub fn for_budget(model: ModelId, node_kv_bytes: u64, page_tokens: usize) -> Self {
-        let page_bytes = model.config().kv_cache_bytes(page_tokens, 16).max(1);
+        let page_bytes = model.config().kv_cache_bytes(page_tokens, KV_BITS).max(1);
         let pages = node_kv_bytes / page_bytes;
         assert!(pages > 0, "KV budget of {node_kv_bytes} B holds less than one page");
         KvConfig::bounded(page_tokens, pages as usize)
@@ -115,6 +171,25 @@ impl KvConfig {
     pub fn with_max_live_sessions(mut self, bound: usize) -> Self {
         assert!(bound > 0, "max_live_sessions must be non-zero");
         self.max_live_sessions = Some(bound);
+        self
+    }
+
+    /// Switches preemption to swap-style page-out over the NoC
+    /// ([`PreemptionMode::Swap`]); meaningful only under disaggregated
+    /// placement, where prefill pools exist to swap into.
+    pub fn with_swap_preemption(mut self) -> Self {
+        self.preemption = PreemptionMode::Swap;
+        self
+    }
+
+    /// Enables the projected-TTFT admission bound.
+    ///
+    /// # Panics
+    /// Panics if either parameter is zero.
+    pub fn with_slo(mut self, slo: SloConfig) -> Self {
+        assert!(slo.target_ttft_cycles > 0, "target_ttft_cycles must be non-zero");
+        assert!(slo.cycles_per_prefill_token > 0, "cycles_per_prefill_token must be non-zero");
+        self.slo = Some(slo);
         self
     }
 
@@ -143,6 +218,15 @@ pub enum AdmissionError {
         /// Pages a single node's pool holds ([`KvConfig::node_pages`]).
         capacity_pages: usize,
     },
+    /// The projected TTFT — the queued prefill backlog plus this prompt,
+    /// scaled by the [`SloConfig`] service-rate estimate — exceeds the
+    /// configured target; admitting the request would miss its deadline.
+    SloViolation {
+        /// Projected TTFT of the request in cycles.
+        projected_cycles: u64,
+        /// The configured bound ([`SloConfig::target_ttft_cycles`]).
+        target_cycles: u64,
+    },
 }
 
 impl fmt::Display for AdmissionError {
@@ -154,6 +238,11 @@ impl fmt::Display for AdmissionError {
             AdmissionError::NeverFits { needed_pages, capacity_pages } => write!(
                 f,
                 "request needs {needed_pages} KV pages but the pool holds only {capacity_pages}"
+            ),
+            AdmissionError::SloViolation { projected_cycles, target_cycles } => write!(
+                f,
+                "projected TTFT of {projected_cycles} cycles exceeds the {target_cycles}-cycle \
+                 SLO target"
             ),
         }
     }
@@ -304,6 +393,26 @@ impl PageTable {
         self.home = None;
         released
     }
+
+    /// Moves every mapped page from `from` (the current home) into `to`
+    /// (pool index `to_id`), re-homing the table — the paged-KV half of a
+    /// prefill→decode handoff or a swap-out, the physical movement being
+    /// charged separately as a NoC transfer. Returns the number of pages
+    /// migrated, or `None` — with both pools and the table unchanged — if
+    /// `to` lacks the free pages.
+    ///
+    /// # Panics
+    /// Panics if the table maps no pages (nothing to migrate) or if `to_id`
+    /// is the table's current home (a self-migration is a bug).
+    pub fn migrate(&mut self, from: &mut KvPool, to_id: usize, to: &mut KvPool) -> Option<usize> {
+        assert!(!self.pages.is_empty(), "an empty table has nothing to migrate");
+        assert_ne!(self.home, Some(to_id), "migration target is already the home pool");
+        let count = self.pages.len();
+        let fresh = to.alloc(count)?;
+        from.release(std::mem::replace(&mut self.pages, fresh));
+        self.home = Some(to_id);
+        Some(count)
+    }
 }
 
 #[cfg(test)]
@@ -353,6 +462,64 @@ mod tests {
         assert_eq!(table.release_all(&mut pool), 3);
         assert_eq!(table.home(), None);
         assert_eq!(pool.free_pages(), 8);
+    }
+
+    #[test]
+    fn migration_moves_pages_between_pools() {
+        let mut src = KvPool::bounded(4);
+        let mut dst = KvPool::bounded(3);
+        let mut table = PageTable::new();
+        assert!(table.grow(0, &mut src, 3));
+        assert_eq!(table.migrate(&mut src, 1, &mut dst), Some(3));
+        assert_eq!(table.home(), Some(1));
+        assert_eq!((src.free_pages(), dst.free_pages()), (4, 0));
+        assert_eq!(table.mapped_pages(), 3);
+        // A destination without room leaves everything untouched.
+        let mut tiny = KvPool::bounded(2);
+        assert_eq!(table.migrate(&mut dst, 2, &mut tiny), None);
+        assert_eq!(table.home(), Some(1));
+        assert_eq!((dst.free_pages(), tiny.free_pages()), (0, 2));
+        // Migrated pages release cleanly into the new home.
+        assert_eq!(table.release_all(&mut dst), 3);
+        assert_eq!(dst.free_pages(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to migrate")]
+    fn empty_table_migration_rejected() {
+        let mut a = KvPool::bounded(2);
+        let mut b = KvPool::bounded(2);
+        PageTable::new().migrate(&mut a, 1, &mut b);
+    }
+
+    #[test]
+    #[should_panic(expected = "already the home pool")]
+    fn self_migration_rejected() {
+        let mut a = KvPool::bounded(2);
+        let mut b = KvPool::bounded(2);
+        let mut table = PageTable::new();
+        table.grow(1, &mut a, 1);
+        table.migrate(&mut a, 1, &mut b);
+    }
+
+    #[test]
+    fn preemption_mode_and_slo_builders() {
+        let kv = KvConfig::bounded(64, 32);
+        assert_eq!(kv.preemption, PreemptionMode::Recompute, "recompute is the default");
+        assert!(kv.slo.is_none(), "the SLO bound is off by default");
+        let swap = kv.with_swap_preemption();
+        assert_eq!(swap.preemption, PreemptionMode::Swap);
+        let slo = SloConfig { target_ttft_cycles: 1_000, cycles_per_prefill_token: 10 };
+        assert_eq!(kv.with_slo(slo).slo, Some(slo));
+        let e = AdmissionError::SloViolation { projected_cycles: 1_200, target_cycles: 1_000 };
+        assert!(e.to_string().contains("1200 cycles"), "{e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "target_ttft_cycles must be non-zero")]
+    fn zero_slo_target_rejected() {
+        KvConfig::unbounded()
+            .with_slo(SloConfig { target_ttft_cycles: 0, cycles_per_prefill_token: 1 });
     }
 
     #[test]

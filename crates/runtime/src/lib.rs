@@ -17,9 +17,11 @@
 //!   FCFS or shortest-prefill-first admission, round-robin across models,
 //!   paging every batch against the target node's KV pool;
 //! * [`placement`] — how micro-batches map onto a NoC mesh of nodes:
-//!   [`Placement`] (data-parallel or sharded over a
-//!   [`NocConfig`](mugi::arch::noc::NocConfig)) plus the [`NodePool`] of
-//!   per-node clocks;
+//!   [`Placement`] (data-parallel, sharded or prefill/decode-disaggregated
+//!   over a [`NocConfig`](mugi::arch::noc::NocConfig)) plus the
+//!   [`NodePool`] of per-node clocks; under disaggregation a completed
+//!   prefill's KV pages migrate to a decode node over the NoC instead of
+//!   being recomputed;
 //! * [`executor`] — the [`Executor`] drives one or many
 //!   [`MugiAccelerator`](mugi::MugiAccelerator) nodes over the scheduled
 //!   micro-batches (composed into mixed prefill/decode operator traces,
@@ -61,9 +63,15 @@ pub mod stats;
 pub mod workload;
 
 pub use executor::{Executor, ExecutorConfig};
-pub use kv::{pages_for, AdmissionError, KvConfig, KvPool, PageId, PageTable};
-pub use placement::{NodePool, Placement, PlacementPolicy};
+pub use kv::{
+    pages_for, AdmissionError, KvConfig, KvPool, PageId, PageTable, PreemptionMode, SloConfig,
+    KV_BITS,
+};
+pub use placement::{NodePool, Placement, PlacementPolicy, PoolRole};
 pub use request::{Request, RequestId, Session, SessionState};
-pub use scheduler::{BatchItem, MicroBatch, Scheduler, SchedulerConfig, SchedulingPolicy};
+pub use scheduler::{
+    BatchItem, DecodeOrder, MicroBatch, Migration, PhaseFilter, Scheduler, SchedulerConfig,
+    SchedulingPolicy, SwapOut,
+};
 pub use stats::{KvStats, Percentiles, RequestStats, RuntimeReport};
 pub use workload::{synthetic_requests, WorkloadSpec};

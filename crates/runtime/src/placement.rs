@@ -16,6 +16,11 @@
 //!   step latency shrinks by the mesh's near-linear throughput multiplier
 //!   while [`NocConfig::transfer_energy_pj`] charges the activation /
 //!   partial-sum movement between nodes.
+//! * [`PlacementPolicy::Disaggregated`] — the mesh is split into a prefill
+//!   pool and a decode pool ([`PoolRole`]); micro-batches are pure (prefill
+//!   chunks on prefill nodes, decode slots on decode nodes) and a completed
+//!   prefill's KV pages *migrate* to a decode node over the NoC — charged as
+//!   transfer energy plus a receive stall — instead of being recomputed.
 //!
 //! Placement also decides where a session's KV cache physically lives when
 //! the pool is bounded ([`KvConfig`](crate::kv::KvConfig)): each
@@ -31,6 +36,23 @@
 use mugi::arch::noc::NocConfig;
 use serde::{Deserialize, Serialize};
 
+/// The scheduling role of one node (and its KV pool, when the pool is
+/// bounded) under a given placement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolRole {
+    /// Prefill chunks and decode slots both run here (every colocated
+    /// policy).
+    #[default]
+    Colocated,
+    /// Only prefill chunks run here; completed prefills migrate their KV
+    /// pages to a decode pool over the NoC.
+    Prefill,
+    /// Only decode slots run here; sessions arrive by page migration and may
+    /// be swapped back out under swap-style preemption
+    /// ([`PreemptionMode::Swap`](crate::kv::PreemptionMode)).
+    Decode,
+}
+
 /// How micro-batches are placed onto the nodes of the mesh.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PlacementPolicy {
@@ -40,14 +62,29 @@ pub enum PlacementPolicy {
     /// Every micro-batch tiled across all nodes with inter-node accumulation
     /// (intra-batch parallelism).
     Sharded,
+    /// MegaScale-Infer-style prefill/decode disaggregation: the mesh is
+    /// partitioned into a prefill pool (the first `prefill_nodes` nodes) and
+    /// a decode pool (the remaining `decode_nodes`). Prefill chunks and
+    /// decode slots never share a node, so chunked prefills stop inflating
+    /// decode TPOT; on prefill completion a session's KV pages migrate to a
+    /// decode node over the NoC instead of being recomputed.
+    Disaggregated {
+        /// Nodes dedicated to prefill (mesh indices `0..prefill_nodes`).
+        prefill_nodes: usize,
+        /// Nodes dedicated to decode (the remaining mesh indices).
+        decode_nodes: usize,
+    },
 }
 
 impl PlacementPolicy {
-    /// Short label used in sweep tables.
-    pub fn label(&self) -> &'static str {
+    /// Short label used in sweep tables (e.g. `disagg-4p12d`).
+    pub fn label(&self) -> String {
         match self {
-            PlacementPolicy::DataParallel => "data-parallel",
-            PlacementPolicy::Sharded => "sharded",
+            PlacementPolicy::DataParallel => "data-parallel".to_string(),
+            PlacementPolicy::Sharded => "sharded".to_string(),
+            PlacementPolicy::Disaggregated { prefill_nodes, decode_nodes } => {
+                format!("disagg-{prefill_nodes}p{decode_nodes}d")
+            }
         }
     }
 }
@@ -77,9 +114,40 @@ impl Placement {
         Placement { noc, policy: PlacementPolicy::Sharded }
     }
 
+    /// Disaggregated placement over `noc`: the first `prefill_nodes` nodes
+    /// prefill, the rest decode.
+    ///
+    /// # Panics
+    /// Panics unless `0 < prefill_nodes < noc.nodes()` (both pools need at
+    /// least one node).
+    pub fn disaggregated(noc: NocConfig, prefill_nodes: usize) -> Self {
+        assert!(
+            prefill_nodes > 0 && prefill_nodes < noc.nodes(),
+            "disaggregation needs at least one prefill node and one decode node"
+        );
+        let decode_nodes = noc.nodes() - prefill_nodes;
+        Placement { noc, policy: PlacementPolicy::Disaggregated { prefill_nodes, decode_nodes } }
+    }
+
     /// Number of nodes in the mesh.
     pub fn nodes(&self) -> usize {
         self.noc.nodes()
+    }
+
+    /// The scheduling role of node `i` under this placement: `Colocated`
+    /// for every non-disaggregated policy, `Prefill`/`Decode` by mesh index
+    /// under [`PlacementPolicy::Disaggregated`].
+    pub fn node_role(&self, i: usize) -> PoolRole {
+        match self.policy {
+            PlacementPolicy::DataParallel | PlacementPolicy::Sharded => PoolRole::Colocated,
+            PlacementPolicy::Disaggregated { prefill_nodes, .. } => {
+                if i < prefill_nodes {
+                    PoolRole::Prefill
+                } else {
+                    PoolRole::Decode
+                }
+            }
+        }
     }
 
     /// Label such as `4x4 sharded`.
@@ -195,6 +263,27 @@ mod tests {
         assert_eq!(Placement::sharded(NocConfig::mesh_4x4()).label(), "4x4 sharded");
         assert_eq!(Placement::data_parallel(NocConfig::mesh_8x8()).label(), "8x8 data-parallel");
         assert_eq!(Placement::default(), Placement::single_node());
+        assert_eq!(Placement::disaggregated(NocConfig::mesh_4x4(), 4).label(), "4x4 disagg-4p12d");
+    }
+
+    #[test]
+    fn disaggregated_roles_split_the_mesh_by_index() {
+        let p = Placement::disaggregated(NocConfig::mesh_4x4(), 6);
+        assert_eq!(p.policy, PlacementPolicy::Disaggregated { prefill_nodes: 6, decode_nodes: 10 });
+        for i in 0..16 {
+            let expected = if i < 6 { PoolRole::Prefill } else { PoolRole::Decode };
+            assert_eq!(p.node_role(i), expected, "node {i}");
+        }
+        // Colocated policies have no phase split.
+        assert_eq!(Placement::single_node().node_role(0), PoolRole::Colocated);
+        assert_eq!(Placement::sharded(NocConfig::mesh_4x4()).node_role(3), PoolRole::Colocated);
+        assert_eq!(PoolRole::default(), PoolRole::Colocated);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one prefill node and one decode node")]
+    fn disaggregation_needs_both_pools() {
+        Placement::disaggregated(NocConfig::mesh_4x4(), 16);
     }
 
     #[test]

@@ -87,8 +87,17 @@ pub struct Session {
     /// after an eviction, so [`Session::kv_len`] does not double-count them
     /// during and after the recompute prefill.
     pub recomputed_tokens: usize,
-    /// Times this session was preempted (evicted from a full KV pool).
+    /// Times this session was preempted (evicted from a full KV pool). Under
+    /// swap-style preemption the eviction is a page-out, not a recompute,
+    /// and is counted in [`Session::swap_outs`] instead.
     pub preemptions: u32,
+    /// Times this session's KV pages migrated into a decode pool over the
+    /// NoC (prefill→decode handoffs plus swap-ins); zero under colocated
+    /// placement.
+    pub migrations: u32,
+    /// Times this session was paged out of a decode pool into a prefill pool
+    /// (swap-style preemption); zero under recompute preemption.
+    pub swap_outs: u32,
     /// Map from this session's KV entries to physical pages of the KV pool
     /// its cache lives on. Stays empty under an unbounded
     /// [`KvConfig`](crate::kv::KvConfig), where no paging is modelled.
@@ -119,6 +128,8 @@ impl Session {
             prefill_target: request.prompt_tokens,
             recomputed_tokens: 0,
             preemptions: 0,
+            migrations: 0,
+            swap_outs: 0,
             page_table: PageTable::new(),
             first_token_cycle: None,
             finish_cycle: None,

@@ -52,13 +52,40 @@
 //! With the default unbounded [`KvConfig`] none of this bookkeeping runs and
 //! the scheduler is bit-identical to the pre-paging implementation
 //! (property-tested in `tests/proptests.rs`).
+//!
+//! # Prefill/decode disaggregation
+//!
+//! A disaggregated executor partitions the mesh into prefill and decode
+//! pools ([`PoolRole`]) and forms *pure* micro-batches through
+//! [`Scheduler::next_micro_batch_phased`]: a [`PhaseFilter::PrefillOnly`]
+//! batch admits and advances prompts on a prefill pool, a
+//! [`PhaseFilter::DecodeOnly`] batch runs decode slots on a decode pool.
+//! Completed prefills hand their KV pages over via
+//! [`Scheduler::migrate_session`] (driven by the executor, which charges the
+//! NoC transfer) instead of recomputing them on the decode side; under
+//! [`PreemptionMode::Swap`] a decode-pool eviction pages the victim *out* to
+//! a prefill pool the same way ([`MicroBatch::swapped_out`]) rather than
+//! dropping its cache. Colocated policies use [`PhaseFilter::Both`] and take
+//! exactly the pre-disaggregation code path.
+//!
+//! # Decode fairness
+//!
+//! Within a model, decode slots rotate round-robin
+//! ([`DecodeOrder::RoundRobin`], the default): each batch starts with the
+//! oldest session *after* the last one served, so under `max_batch` or
+//! token-budget pressure the newest generations no longer starve behind the
+//! oldest ones. When every decoding session fits the batch the rotation
+//! degenerates to submission order, i.e. to [`DecodeOrder::Fcfs`] — the
+//! pre-rotation behaviour kept as an explicit opt-out (and as the oracle for
+//! the bit-identity regression tests).
 
-use crate::kv::{pages_for, AdmissionError, KvConfig, KvPool};
+use crate::kv::{pages_for, AdmissionError, KvConfig, KvPool, PreemptionMode, SloConfig, KV_BITS};
+use crate::placement::PoolRole;
 use crate::request::{Request, RequestId, Session, SessionState};
 use mugi_workloads::models::ModelId;
 use mugi_workloads::ops::{BatchSlice, Phase};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Order in which waiting prompts are admitted to the prefill share of a
 /// micro-batch.
@@ -70,6 +97,22 @@ pub enum SchedulingPolicy {
     /// Lowers mean time-to-first-token for short prompts at the cost of
     /// delaying long ones while shorter work keeps arriving.
     ShortestPrefillFirst,
+}
+
+/// Order in which decoding sessions of one model receive their decode slots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecodeOrder {
+    /// Oldest generation first (submission order) — the pre-rotation
+    /// behaviour. Under `max_batch` pressure the newest generations wait
+    /// behind every older one, potentially forever.
+    Fcfs,
+    /// Round-robin rotation: each batch starts with the oldest session
+    /// strictly after the last one served (wrapping), so every decoding
+    /// session is served within one rotation even when only a fraction fit
+    /// a batch. Identical to [`DecodeOrder::Fcfs`] whenever all decoding
+    /// sessions fit.
+    #[default]
+    RoundRobin,
 }
 
 /// Static scheduler configuration.
@@ -84,6 +127,8 @@ pub struct SchedulerConfig {
     pub prefill_chunk: usize,
     /// Prefill admission order.
     pub policy: SchedulingPolicy,
+    /// Decode-slot order within a model.
+    pub decode_order: DecodeOrder,
 }
 
 impl SchedulerConfig {
@@ -99,14 +144,41 @@ impl SchedulerConfig {
 }
 
 impl Default for SchedulerConfig {
-    /// Sixteen requests, a 2048-token budget, 512-token prefill chunks, FCFS.
+    /// Sixteen requests, a 2048-token budget, 512-token prefill chunks, FCFS
+    /// prefill admission, round-robin decode slots.
     fn default() -> Self {
         SchedulerConfig {
             max_batch: 16,
             token_budget: 2048,
             prefill_chunk: 512,
             policy: SchedulingPolicy::Fcfs,
+            decode_order: DecodeOrder::RoundRobin,
         }
+    }
+}
+
+/// Which phases a micro-batch formation may schedule: colocated nodes run
+/// both, a disaggregated mesh routes each phase to its own pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhaseFilter {
+    /// Decode slots first, then prefill chunks (every colocated policy).
+    #[default]
+    Both,
+    /// Prefill chunks only (a disaggregated prefill node).
+    PrefillOnly,
+    /// Decode slots only (a disaggregated decode node).
+    DecodeOnly,
+}
+
+impl PhaseFilter {
+    /// Whether decode slots may be scheduled.
+    fn decode(self) -> bool {
+        !matches!(self, PhaseFilter::PrefillOnly)
+    }
+
+    /// Whether prefill chunks may be scheduled.
+    fn prefill(self) -> bool {
+        !matches!(self, PhaseFilter::DecodeOnly)
     }
 }
 
@@ -124,6 +196,23 @@ pub struct BatchItem {
     pub context_len: usize,
 }
 
+/// One session paged out of a decode pool over the NoC while a micro-batch
+/// was being formed (swap-style preemption). The executor charges the
+/// transfer energy for `bytes` and stalls the batch while the pages stream
+/// out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapOut {
+    /// The paged-out session.
+    pub id: RequestId,
+    /// The prefill pool (node) the pages landed on; the executor stalls its
+    /// receive path while the transfer streams.
+    pub to_pool: usize,
+    /// KV pages moved to the prefill pool.
+    pub pages: usize,
+    /// KV-cache bytes shipped over the NoC.
+    pub bytes: u64,
+}
+
 /// A scheduled micro-batch: work for one model, one step.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MicroBatch {
@@ -131,10 +220,15 @@ pub struct MicroBatch {
     pub model: ModelId,
     /// The scheduled items (decode slots first, then prefill chunks).
     pub items: Vec<BatchItem>,
-    /// KV pages evicted (sessions preempted) to make room for this batch;
-    /// always zero under an unbounded pool. The executor charges page-fault
-    /// stall cycles per evicted page.
+    /// KV pages evicted (sessions recompute-preempted) to make room for this
+    /// batch; always zero under an unbounded pool. The executor charges
+    /// page-fault stall cycles per evicted page.
     pub evicted_pages: usize,
+    /// Sessions paged out over the NoC to make room for this batch
+    /// (swap-style preemption); empty except on a disaggregated decode pool
+    /// under [`PreemptionMode::Swap`]. The executor charges the transfer
+    /// energy and latency.
+    pub swapped_out: Vec<SwapOut>,
 }
 
 impl MicroBatch {
@@ -202,11 +296,25 @@ struct ModelQueue {
     /// runnable model, which is starvation-free even as the runnable set
     /// grows and shrinks between calls.
     last_served: u64,
+    /// Last session granted a decode slot *per KV pool*, driving the
+    /// [`DecodeOrder::RoundRobin`] rotation: the next batch formed for that
+    /// pool starts with the oldest eligible session strictly after the
+    /// cursor (wrapping). The cursor must be per-pool — sessions are pinned
+    /// to the pool holding their pages, so a cursor shared across pools
+    /// would let interleaved per-pool formations rotate past another pool's
+    /// sessions and starve them.
+    last_decode: HashMap<usize, RequestId>,
 }
 
 impl ModelQueue {
     fn new(model: ModelId) -> Self {
-        ModelQueue { model, waiting: Vec::new(), decoding: Vec::new(), last_served: 0 }
+        ModelQueue {
+            model,
+            waiting: Vec::new(),
+            decoding: Vec::new(),
+            last_served: 0,
+            last_decode: HashMap::new(),
+        }
     }
 }
 
@@ -233,7 +341,16 @@ pub struct Scheduler {
     /// per data-parallel node, or a single aggregate pool under sharded
     /// placement (see [`Scheduler::configure_kv_pools`]).
     pools: Vec<KvPool>,
+    /// Scheduling role of each pool (parallel to `pools`): all
+    /// [`PoolRole::Colocated`] except under disaggregated placement.
+    pool_roles: Vec<PoolRole>,
+    /// Sessions not yet retired, in submission order; session `id` lives at
+    /// index `id - session_base`.
     sessions: Vec<Session>,
+    /// Ids below this have been retired via
+    /// [`Scheduler::retire_finished_prefix`] (always zero unless the
+    /// executor opts into incremental retirement).
+    session_base: usize,
     /// Per-model queues of released unfinished sessions, in first-submission
     /// order of their models.
     queues: Vec<ModelQueue>,
@@ -260,6 +377,26 @@ pub struct Scheduler {
     evicted_pages: u64,
     /// Submissions rejected by admission control.
     rejected: u64,
+    /// KV-page migrations between pools (prefill→decode handoffs plus
+    /// swap-ins), driven by the executor via [`Scheduler::migrate_session`].
+    migrations: u64,
+    /// Pages moved by those migrations.
+    migrated_pages: u64,
+    /// Sessions paged out of a decode pool under swap-style preemption.
+    swap_outs: u64,
+    /// Pages moved by those swap-outs.
+    swapped_pages: u64,
+}
+
+/// Outcome of one KV-page migration ([`Scheduler::migrate_session`]): what
+/// moved, so the executor can charge the NoC transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Migration {
+    /// Pages that changed pools (under an unbounded pool: the page
+    /// equivalent of the session's KV length).
+    pub pages: usize,
+    /// KV-cache bytes shipped over the NoC.
+    pub bytes: u64,
 }
 
 impl Scheduler {
@@ -284,11 +421,14 @@ impl Scheduler {
             Some(pages) => vec![KvPool::bounded(pages)],
             None => Vec::new(),
         };
+        let pool_roles = vec![PoolRole::Colocated; pools.len()];
         Scheduler {
             config,
             kv,
             pools,
+            pool_roles,
             sessions: Vec::new(),
+            session_base: 0,
             queues: Vec::new(),
             future: VecDeque::new(),
             in_flight: HashSet::new(),
@@ -298,7 +438,21 @@ impl Scheduler {
             reprefill_tokens: 0,
             evicted_pages: 0,
             rejected: 0,
+            migrations: 0,
+            migrated_pages: 0,
+            swap_outs: 0,
+            swapped_pages: 0,
         }
+    }
+
+    /// Index of session `id` in the unretired window.
+    ///
+    /// # Panics
+    /// Panics if the session was retired (or `id` was never issued).
+    fn sidx(&self, id: RequestId) -> usize {
+        (id.0 as usize)
+            .checked_sub(self.session_base)
+            .expect("session was retired from the scheduler")
     }
 
     /// The configuration the scheduler runs under.
@@ -319,25 +473,50 @@ impl Scheduler {
     /// configuration is unbounded.
     ///
     /// # Panics
-    /// Panics if `pools` or `capacity_scale` is zero, or if any session
-    /// already holds pages (pools cannot be repartitioned mid-run).
+    /// Under a bounded configuration, panics if `pools` or `capacity_scale`
+    /// is zero, or if any session already holds pages (pools cannot be
+    /// repartitioned mid-run).
     pub fn configure_kv_pools(&mut self, pools: usize, capacity_scale: usize) {
+        self.configure_kv_pools_with_roles(&vec![PoolRole::Colocated; pools], capacity_scale);
+    }
+
+    /// Like [`Scheduler::configure_kv_pools`], but assigns each pool a
+    /// [`PoolRole`] — one pool per node, `roles[i]` being node `i`'s role. A
+    /// disaggregated executor marks its prefill and decode pools here; every
+    /// colocated policy passes all-`Colocated` roles (via
+    /// [`Scheduler::configure_kv_pools`]) and behaves exactly as before.
+    /// No-op when the configuration is unbounded (arguments are not even
+    /// validated — there are no pools to configure).
+    ///
+    /// # Panics
+    /// Under a bounded configuration, panics if `roles` is empty or
+    /// `capacity_scale` is zero, or if any session already holds pages
+    /// (pools cannot be repartitioned mid-run).
+    pub fn configure_kv_pools_with_roles(&mut self, roles: &[PoolRole], capacity_scale: usize) {
         let Some(node_pages) = self.kv.node_pages else { return };
-        assert!(pools > 0, "at least one KV pool is required");
+        assert!(!roles.is_empty(), "at least one KV pool is required");
         assert!(capacity_scale > 0, "capacity_scale must be non-zero");
         assert!(
             self.sessions.iter().all(|s| s.page_table.mapped_pages() == 0),
             "cannot repartition KV pools once pages are mapped"
         );
-        self.pools = (0..pools).map(|_| KvPool::bounded(node_pages * capacity_scale)).collect();
+        self.pools = roles.iter().map(|_| KvPool::bounded(node_pages * capacity_scale)).collect();
+        self.pool_roles = roles.to_vec();
+    }
+
+    /// The scheduling role of pool `pool` (`Colocated` under an unbounded
+    /// configuration, where no pools exist).
+    pub fn pool_role(&self, pool: usize) -> PoolRole {
+        self.pool_roles.get(pool).copied().unwrap_or(PoolRole::Colocated)
     }
 
     /// Submits a request, returning its id. Submission order defines FCFS.
     ///
     /// # Panics
-    /// Panics if admission control rejects the request (only possible under
-    /// a bounded [`KvConfig`]); use [`Scheduler::try_submit`] to handle
-    /// rejection as backpressure instead.
+    /// Panics if admission control rejects the request (only possible with
+    /// a bounded [`KvConfig`] or an [`SloConfig`] set); use
+    /// [`Scheduler::try_submit`] to handle rejection as backpressure
+    /// instead.
     pub fn submit(&mut self, request: Request) -> RequestId {
         self.try_submit(request)
             .unwrap_or_else(|e| panic!("request rejected: {e}; use try_submit to handle this"))
@@ -345,7 +524,9 @@ impl Scheduler {
 
     /// Submits a request unless admission control rejects it: the live
     /// session population is at [`KvConfig::max_live_sessions`] (backpressure
-    /// — retry later), or the request alone could never fit *one node's*
+    /// — retry later), the projected TTFT exceeds a configured
+    /// [`SloConfig`] target ([`AdmissionError::SloViolation`]), or the
+    /// request alone could never fit *one node's*
     /// pool of [`KvConfig::node_pages`] pages (admitting it would deadlock
     /// that pool). The fit check deliberately uses the per-node capacity
     /// rather than the current pool partition, so acceptance does not depend
@@ -355,7 +536,7 @@ impl Scheduler {
     /// counted in the runtime report.
     pub fn try_submit(&mut self, request: Request) -> Result<RequestId, AdmissionError> {
         if let Some(bound) = self.kv.max_live_sessions {
-            let live = self.sessions.len() - self.retired;
+            let live = self.session_base + self.sessions.len() - self.retired;
             if live >= bound {
                 self.rejected += 1;
                 return Err(AdmissionError::QueueFull { live, bound });
@@ -373,7 +554,30 @@ impl Scheduler {
                 });
             }
         }
-        let id = RequestId(self.sessions.len() as u64);
+        if let Some(SloConfig { target_ttft_cycles, cycles_per_prefill_token }) = self.kv.slo {
+            // Projected TTFT: the prefill backlog queued ahead of this
+            // prompt *at its arrival* — sessions arriving later cannot delay
+            // it, so a pre-submitted spread-arrival stream is not spuriously
+            // rejected — plus the prompt itself, at the configured
+            // service-rate estimate. Deliberately ignores decode
+            // interference and drainage between now and the arrival — it is
+            // a bound on *queued work*, not a simulation.
+            let backlog: u64 = self
+                .sessions
+                .iter()
+                .filter(|s| !s.is_finished() && s.request.arrival_cycle <= request.arrival_cycle)
+                .map(|s| s.remaining_prefill() as u64)
+                .sum();
+            let projected = (backlog + request.prompt_tokens as u64) * cycles_per_prefill_token;
+            if projected > target_ttft_cycles {
+                self.rejected += 1;
+                return Err(AdmissionError::SloViolation {
+                    projected_cycles: projected,
+                    target_cycles: target_ttft_cycles,
+                });
+            }
+        }
+        let id = RequestId((self.session_base + self.sessions.len()) as u64);
         self.sessions.push(Session::new(id, request));
         let arrival = request.arrival_cycle;
         if self.future.back().is_none_or(|&(a, _)| a <= arrival) {
@@ -385,22 +589,48 @@ impl Scheduler {
         Ok(id)
     }
 
-    /// All sessions in submission order.
+    /// All unretired sessions in submission order (every session ever
+    /// submitted, unless the executor opted into incremental retirement).
     pub fn sessions(&self) -> &[Session] {
         &self.sessions
+    }
+
+    /// Number of ids retired from the front of the session window (zero
+    /// without incremental retirement).
+    pub fn retired_session_count(&self) -> usize {
+        self.session_base
+    }
+
+    /// Total sessions ever submitted (retired or not).
+    pub fn submitted_count(&self) -> usize {
+        self.session_base + self.sessions.len()
     }
 
     /// Looks up one session.
     ///
     /// # Panics
-    /// Panics if `id` was not issued by this scheduler.
+    /// Panics if `id` was not issued by this scheduler or was retired.
     pub fn session(&self, id: RequestId) -> &Session {
-        &self.sessions[id.0 as usize]
+        &self.sessions[self.sidx(id)]
+    }
+
+    /// Drops every *finished* session at the front of the session window,
+    /// returning how many were dropped. The executor calls this after
+    /// folding their statistics into its report, so `sessions` stops growing
+    /// without bound on long request streams; ids keep working because only
+    /// a contiguous finished prefix ever retires.
+    pub fn retire_finished_prefix(&mut self) -> usize {
+        let n = self.sessions.iter().take_while(|s| s.is_finished()).count();
+        if n > 0 {
+            self.sessions.drain(..n);
+            self.session_base += n;
+        }
+        n
     }
 
     /// Whether every submitted session has finished.
     pub fn all_finished(&self) -> bool {
-        self.retired == self.sessions.len()
+        self.retired == self.session_base + self.sessions.len()
     }
 
     /// Number of finished sessions.
@@ -464,6 +694,27 @@ impl Scheduler {
         self.rejected
     }
 
+    /// KV-page migrations between pools so far (prefill→decode handoffs plus
+    /// swap-ins).
+    pub fn migration_count(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Pages moved by migrations so far.
+    pub fn migrated_page_count(&self) -> u64 {
+        self.migrated_pages
+    }
+
+    /// Sessions paged out of a decode pool (swap-style preemption) so far.
+    pub fn swap_out_count(&self) -> u64 {
+        self.swap_outs
+    }
+
+    /// Pages moved by swap-outs so far.
+    pub fn swapped_page_count(&self) -> u64 {
+        self.swapped_pages
+    }
+
     /// Earliest cycle strictly after `now` at which an unfinished session
     /// becomes schedulable: a future arrival, or the `ready_cycle` a session
     /// was stamped with when its latest micro-batch completed. The executor
@@ -484,7 +735,7 @@ impl Scheduler {
             .queues
             .iter()
             .flat_map(|q| q.waiting.iter().chain(q.decoding.iter()))
-            .map(|id| self.sessions[id.0 as usize].ready_cycle)
+            .map(|&id| self.sessions[self.sidx(id)].ready_cycle)
             .filter(|&ready| ready > now)
             .min();
         match (pending, queued) {
@@ -501,7 +752,7 @@ impl Scheduler {
                 break;
             }
             self.future.pop_front();
-            let model = self.sessions[id.0 as usize].request.model;
+            let model = self.sessions[self.sidx(id)].request.model;
             let queue = match self.queues.iter_mut().find(|q| q.model == model) {
                 Some(queue) => queue,
                 None => {
@@ -515,7 +766,7 @@ impl Scheduler {
 
     /// Whether `id` may be scheduled at `now`.
     fn schedulable(&self, id: RequestId, now: u64) -> bool {
-        !self.in_flight.contains(&id) && self.sessions[id.0 as usize].is_runnable(now)
+        !self.in_flight.contains(&id) && self.sessions[self.sidx(id)].is_runnable(now)
     }
 
     /// Whether `id` may be scheduled at `now` out of KV pool `pool`: it must
@@ -524,7 +775,7 @@ impl Scheduler {
     fn eligible_on(&self, id: RequestId, now: u64, pool: usize) -> bool {
         self.schedulable(id, now)
             && (self.pools.is_empty()
-                || self.sessions[id.0 as usize].page_table.admissible_on(pool))
+                || self.sessions[self.sidx(id)].page_table.admissible_on(pool))
     }
 
     /// Assembles the next micro-batch at simulated cycle `now` against KV
@@ -548,6 +799,20 @@ impl Scheduler {
     /// the module docs). Models whose eligible sessions are all blocked on
     /// pages are skipped in favour of the next least-recently-served one.
     pub fn next_micro_batch_on(&mut self, now: u64, pool: usize) -> Option<MicroBatch> {
+        self.next_micro_batch_phased(now, pool, PhaseFilter::Both)
+    }
+
+    /// Like [`Scheduler::next_micro_batch_on`], but restricted to `phase`:
+    /// a disaggregated executor forms [`PhaseFilter::PrefillOnly`] batches
+    /// on prefill nodes and [`PhaseFilter::DecodeOnly`] batches on decode
+    /// nodes. [`PhaseFilter::Both`] is the colocated behaviour and is
+    /// exactly what [`Scheduler::next_micro_batch_on`] delegates to.
+    pub fn next_micro_batch_phased(
+        &mut self,
+        now: u64,
+        pool: usize,
+        phase: PhaseFilter,
+    ) -> Option<MicroBatch> {
         self.release_arrivals(now);
         // Rank models by least-recently-served; ties (e.g. never-served
         // models) go to the oldest eligible session. Tracking actual service
@@ -563,7 +828,8 @@ impl Scheduler {
             .filter_map(|(qi, q)| {
                 q.decoding
                     .iter()
-                    .chain(q.waiting.iter())
+                    .filter(|_| phase.decode())
+                    .chain(q.waiting.iter().filter(|_| phase.prefill()))
                     .filter(|&&id| self.eligible_on(id, now, pool))
                     .map(|&id| id)
                     .min()
@@ -572,7 +838,7 @@ impl Scheduler {
             .collect();
         candidates.sort();
         for (_, _, qi) in candidates {
-            let (items, evicted_pages) = self.try_form(now, pool, qi);
+            let (items, evicted_pages, swapped_out) = self.try_form(now, pool, qi, phase);
             if items.is_empty() {
                 continue;
             }
@@ -581,53 +847,96 @@ impl Scheduler {
             for item in &items {
                 self.in_flight.insert(item.id);
             }
-            return Some(MicroBatch { model: self.queues[qi].model, items, evicted_pages });
+            return Some(MicroBatch {
+                model: self.queues[qi].model,
+                items,
+                evicted_pages,
+                swapped_out,
+            });
         }
         None
     }
 
     /// Tries to form a micro-batch for the model of queue `qi` out of KV
-    /// pool `pool`, returning the items plus the pages evicted to make room
+    /// pool `pool`, restricted to `phase`, returning the items, the pages
+    /// evicted to make room and the sessions swapped out over the NoC
     /// (empty items = everything eligible is blocked on pages).
-    fn try_form(&mut self, now: u64, pool: usize, qi: usize) -> (Vec<BatchItem>, usize) {
-        let SchedulerConfig { max_batch, token_budget, prefill_chunk, policy } = self.config;
+    fn try_form(
+        &mut self,
+        now: u64,
+        pool: usize,
+        qi: usize,
+        phase: PhaseFilter,
+    ) -> (Vec<BatchItem>, usize, Vec<SwapOut>) {
+        let SchedulerConfig { max_batch, token_budget, prefill_chunk, policy, decode_order } =
+            self.config;
         let KvConfig { page_tokens, .. } = self.kv;
         let paged = !self.pools.is_empty();
         let mut items: Vec<BatchItem> = Vec::new();
         let mut in_batch: HashSet<RequestId> = HashSet::new();
         let mut tokens = 0usize;
         let mut evicted_pages = 0usize;
+        let mut swapped_out: Vec<SwapOut> = Vec::new();
 
-        // 1. Decode slots for every in-flight generation, oldest first. A
-        // slot needs the session's table to cover one more KV entry; when
-        // the pool is short the session preempts strictly-younger page
-        // holders, and a session that cannot reclaim enough simply skips
-        // this step (the oldest session can always reclaim, so no one
-        // starves).
-        let decoding: Vec<RequestId> = self.queues[qi]
-            .decoding
-            .iter()
-            .copied()
-            .filter(|&id| self.eligible_on(id, now, pool))
-            .collect();
-        for id in decoding {
-            if items.len() >= max_batch || tokens >= token_budget {
-                break;
-            }
-            let s = &self.sessions[id.0 as usize];
-            if s.state != SessionState::Decoding {
-                continue; // evicted earlier in this very formation
-            }
-            let context_len = s.kv_len();
-            if paged {
-                let need = pages_for(context_len + 1, page_tokens);
-                if !self.reserve_pages(pool, id, need, &in_batch, &mut evicted_pages) {
-                    continue;
+        // 1. Decode slots for every in-flight generation — oldest first, or
+        // rotated round-robin after the last session served. A slot needs
+        // the session's table to cover one more KV entry; when the pool is
+        // short the session preempts strictly-younger page holders, and a
+        // session that cannot reclaim enough simply skips this step (the
+        // oldest session can always reclaim, so no one starves).
+        if phase.decode() {
+            let mut decoding: Vec<RequestId> = self.queues[qi]
+                .decoding
+                .iter()
+                .copied()
+                .filter(|&id| self.eligible_on(id, now, pool))
+                .collect();
+            if decode_order == DecodeOrder::RoundRobin && !decoding.is_empty() {
+                if let Some(&last) = self.queues[qi].last_decode.get(&pool) {
+                    // Start with the oldest session strictly after the last
+                    // one served; `split == len` wraps to the front, which
+                    // makes the rotation identical to FCFS whenever every
+                    // decoding session was served last time.
+                    let split = decoding.partition_point(|&id| id <= last);
+                    if split < decoding.len() {
+                        decoding.rotate_left(split);
+                    }
                 }
             }
-            items.push(BatchItem { id, phase: Phase::Decode, tokens: 1, context_len });
-            in_batch.insert(id);
-            tokens += 1;
+            let mut last_granted = None;
+            for id in decoding {
+                if items.len() >= max_batch || tokens >= token_budget {
+                    break;
+                }
+                let s = &self.sessions[self.sidx(id)];
+                if s.state != SessionState::Decoding {
+                    continue; // recompute-evicted earlier in this very formation
+                }
+                if paged && !s.page_table.admissible_on(pool) {
+                    continue; // swapped out earlier in this very formation
+                }
+                let context_len = s.kv_len();
+                if paged {
+                    let need = pages_for(context_len + 1, page_tokens);
+                    if !self.reserve_pages(
+                        pool,
+                        id,
+                        need,
+                        &in_batch,
+                        &mut evicted_pages,
+                        &mut swapped_out,
+                    ) {
+                        continue;
+                    }
+                }
+                items.push(BatchItem { id, phase: Phase::Decode, tokens: 1, context_len });
+                in_batch.insert(id);
+                last_granted = Some(id);
+                tokens += 1;
+            }
+            if let Some(last) = last_granted {
+                self.queues[qi].last_decode.insert(pool, last);
+            }
         }
 
         // 2. Prefill chunks with the remaining budget, in policy order. A
@@ -635,56 +944,64 @@ impl Scheduler {
         // preempt like a decode slot; a fresh admission defers instead when
         // free pages fall short of its projected need — and defers the rest
         // of the queue with it, so admission keeps strict policy order.
-        let mut waiting: Vec<RequestId> = self.queues[qi]
-            .waiting
-            .iter()
-            .copied()
-            .filter(|&id| self.eligible_on(id, now, pool))
-            .collect();
-        if policy == SchedulingPolicy::ShortestPrefillFirst {
-            waiting.sort_by_key(|&id| (self.sessions[id.0 as usize].remaining_prefill(), id));
-        }
-        for id in waiting {
-            if items.len() >= max_batch || tokens >= token_budget {
-                break;
+        if phase.prefill() {
+            let mut waiting: Vec<RequestId> = self.queues[qi]
+                .waiting
+                .iter()
+                .copied()
+                .filter(|&id| self.eligible_on(id, now, pool))
+                .collect();
+            if policy == SchedulingPolicy::ShortestPrefillFirst {
+                waiting.sort_by_key(|&id| (self.sessions[self.sidx(id)].remaining_prefill(), id));
             }
-            if in_batch.contains(&id) {
-                continue;
-            }
-            let s = &self.sessions[id.0 as usize];
-            let room = token_budget - tokens;
-            let chunk = s.remaining_prefill().min(prefill_chunk).min(room);
-            let context_len = s.prefilled_tokens + chunk;
-            if paged {
-                // The chunk that completes the prefill also emits the first
-                // output token, whose KV entry lands in the same table.
-                let completes = chunk == s.remaining_prefill();
-                let emits = completes && s.first_token_cycle.is_none();
-                let need = pages_for(context_len + usize::from(emits), page_tokens);
-                if s.page_table.mapped_pages() == 0 {
-                    // Fresh admission: defer (never preempt) when free pages
-                    // fall short of the projected need.
-                    if self.pools[pool].free_pages() < need {
-                        break;
-                    }
-                    let grown = self.sessions[id.0 as usize].page_table.grow(
-                        pool,
-                        &mut self.pools[pool],
-                        need,
-                    );
-                    debug_assert!(grown, "free pages were just checked");
-                } else if !self.reserve_pages(pool, id, need, &in_batch, &mut evicted_pages) {
+            for id in waiting {
+                if items.len() >= max_batch || tokens >= token_budget {
                     break;
                 }
+                if in_batch.contains(&id) {
+                    continue;
+                }
+                let s = &self.sessions[self.sidx(id)];
+                let room = token_budget - tokens;
+                let chunk = s.remaining_prefill().min(prefill_chunk).min(room);
+                let context_len = s.prefilled_tokens + chunk;
+                if paged {
+                    // The chunk that completes the prefill also emits the
+                    // first output token, whose KV entry lands in the same
+                    // table.
+                    let completes = chunk == s.remaining_prefill();
+                    let emits = completes && s.first_token_cycle.is_none();
+                    let need = pages_for(context_len + usize::from(emits), page_tokens);
+                    if s.page_table.mapped_pages() == 0 {
+                        // Fresh admission: defer (never preempt) when free
+                        // pages fall short of the projected need.
+                        if self.pools[pool].free_pages() < need {
+                            break;
+                        }
+                        let i = self.sidx(id);
+                        let grown =
+                            self.sessions[i].page_table.grow(pool, &mut self.pools[pool], need);
+                        debug_assert!(grown, "free pages were just checked");
+                    } else if !self.reserve_pages(
+                        pool,
+                        id,
+                        need,
+                        &in_batch,
+                        &mut evicted_pages,
+                        &mut swapped_out,
+                    ) {
+                        break;
+                    }
+                }
+                items.push(BatchItem { id, phase: Phase::Prefill, tokens: chunk, context_len });
+                in_batch.insert(id);
+                tokens += chunk;
             }
-            items.push(BatchItem { id, phase: Phase::Prefill, tokens: chunk, context_len });
-            in_batch.insert(id);
-            tokens += chunk;
         }
 
         debug_assert!(tokens <= token_budget, "token budget exceeded");
         self.evicted_pages += evicted_pages as u64;
-        (items, evicted_pages)
+        (items, evicted_pages, swapped_out)
     }
 
     /// Grows `id`'s page table to `need` pages out of `pool`, preempting
@@ -693,6 +1010,13 @@ impl Scheduler {
     /// nothing allocated — if even evicting every eligible victim would not
     /// free enough pages. Victims are planned first and only then committed,
     /// so a failed reclaim has no side effects.
+    ///
+    /// Under [`PreemptionMode::Swap`] on a [`PoolRole::Decode`] pool each
+    /// victim is paged *out* over the NoC into the prefill pool with the
+    /// most free pages instead of dropping its cache: the session keeps its
+    /// KV (no recompute debt) and is paged back in by the executor's
+    /// migration path once the decode pool has room again. A victim no
+    /// prefill pool can hold falls back to a recompute eviction.
     fn reserve_pages(
         &mut self,
         pool: usize,
@@ -700,8 +1024,9 @@ impl Scheduler {
         need: usize,
         in_batch: &HashSet<RequestId>,
         evicted_pages: &mut usize,
+        swapped_out: &mut Vec<SwapOut>,
     ) -> bool {
-        let growth = need.saturating_sub(self.sessions[id.0 as usize].page_table.mapped_pages());
+        let growth = need.saturating_sub(self.sessions[self.sidx(id)].page_table.mapped_pages());
         if growth == 0 {
             return true;
         }
@@ -722,7 +1047,7 @@ impl Scheduler {
                 .flat_map(|q| q.waiting.iter().chain(q.decoding.iter()))
                 .copied()
                 .filter(|&v| {
-                    let s = &self.sessions[v.0 as usize];
+                    let s = &self.sessions[self.sidx(v)];
                     s.page_table.home() == Some(pool)
                         && v > id
                         && !self.in_flight.contains(&v)
@@ -734,34 +1059,136 @@ impl Scheduler {
                 if reclaimable >= growth {
                     break;
                 }
-                reclaimable += self.sessions[victim.0 as usize].page_table.mapped_pages();
+                reclaimable += self.sessions[self.sidx(victim)].page_table.mapped_pages();
                 victims.push(victim);
             }
             if reclaimable < growth {
                 return false;
             }
         }
+        let swap_eligible =
+            self.kv.preemption == PreemptionMode::Swap && self.pool_role(pool) == PoolRole::Decode;
         for victim in victims {
-            let s = &mut self.sessions[victim.0 as usize];
-            let lost_tokens = s.kv_len() as u64;
-            let mut table = std::mem::take(&mut s.page_table);
-            let released = table.release_all(&mut self.pools[pool]);
-            s.preempt();
-            let model = s.request.model;
-            let queue = self
-                .queues
-                .iter_mut()
-                .find(|q| q.model == model)
-                .expect("page holders live in a model queue");
-            sorted_remove(&mut queue.decoding, victim);
-            sorted_insert(&mut queue.waiting, victim);
-            self.preempted += 1;
-            self.reprefill_tokens += lost_tokens;
-            *evicted_pages += released;
+            let vi = self.sidx(victim);
+            let victim_pages = self.sessions[vi].page_table.mapped_pages();
+            let swap_target = if swap_eligible && self.sessions[vi].state == SessionState::Decoding
+            {
+                self.swap_target(victim_pages)
+            } else {
+                None
+            };
+            if let Some(dst) = swap_target {
+                // Swap-out: page the victim's KV over the NoC into a prefill
+                // pool. It stays in the decoding queue with its cache intact
+                // and swaps back in through the executor's migration path.
+                let mut table = std::mem::take(&mut self.sessions[vi].page_table);
+                let (from, to) = self.pool_pair_mut(pool, dst);
+                let moved = table.migrate(from, dst, to).expect("free pages were just checked");
+                let s = &mut self.sessions[vi];
+                s.page_table = table;
+                s.swap_outs += 1;
+                let bytes = s.request.model.config().kv_cache_bytes(s.kv_len(), KV_BITS);
+                self.swap_outs += 1;
+                self.swapped_pages += moved as u64;
+                swapped_out.push(SwapOut { id: victim, to_pool: dst, pages: moved, bytes });
+            } else {
+                let s = &mut self.sessions[vi];
+                let lost_tokens = s.kv_len() as u64;
+                let mut table = std::mem::take(&mut s.page_table);
+                let released = table.release_all(&mut self.pools[pool]);
+                s.preempt();
+                let model = s.request.model;
+                let queue = self
+                    .queues
+                    .iter_mut()
+                    .find(|q| q.model == model)
+                    .expect("page holders live in a model queue");
+                sorted_remove(&mut queue.decoding, victim);
+                sorted_insert(&mut queue.waiting, victim);
+                self.preempted += 1;
+                self.reprefill_tokens += lost_tokens;
+                *evicted_pages += released;
+            }
         }
-        let grown = self.sessions[id.0 as usize].page_table.grow(pool, &mut self.pools[pool], need);
+        let i = self.sidx(id);
+        let grown = self.sessions[i].page_table.grow(pool, &mut self.pools[pool], need);
         debug_assert!(grown, "reclaim guaranteed the free pages");
         true
+    }
+
+    /// The prefill pool with the most free pages that can hold `pages`
+    /// (ties to the lowest index), or `None` if no prefill pool has room.
+    fn swap_target(&self, pages: usize) -> Option<usize> {
+        self.pool_roles
+            .iter()
+            .enumerate()
+            .filter(|&(i, role)| *role == PoolRole::Prefill && self.pools[i].free_pages() >= pages)
+            .max_by_key(|&(i, _)| (self.pools[i].free_pages(), std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+    }
+
+    /// Mutable references to two distinct pools.
+    fn pool_pair_mut(&mut self, a: usize, b: usize) -> (&mut KvPool, &mut KvPool) {
+        assert_ne!(a, b, "a pool pair needs two distinct pools");
+        if a < b {
+            let (left, right) = self.pools.split_at_mut(b);
+            (&mut left[a], &mut right[0])
+        } else {
+            let (left, right) = self.pools.split_at_mut(a);
+            (&mut right[0], &mut left[b])
+        }
+    }
+
+    /// Migrates session `id`'s KV pages into pool `to_pool` — the
+    /// prefill→decode handoff (or swap-in) of disaggregated serving, driven
+    /// by the executor, which charges the NoC transfer energy and latency
+    /// for the returned byte count. Under an unbounded configuration no
+    /// physical pages exist, so the call only computes the transfer size
+    /// (`to_pool` is ignored) and counts the migration.
+    ///
+    /// Returns `None` — nothing moved — when `to_pool` lacks the free pages;
+    /// the executor retries after the next completion frees some.
+    ///
+    /// # Panics
+    /// Panics if the session is finished, holds no pages while a bounded
+    /// pool is configured, or is already homed on `to_pool`.
+    pub fn migrate_session(&mut self, id: RequestId, to_pool: usize) -> Option<Migration> {
+        let i = self.sidx(id);
+        assert!(!self.sessions[i].is_finished(), "finished sessions have no KV to migrate");
+        if self.pools.is_empty() {
+            let s = &mut self.sessions[i];
+            let pages = pages_for(s.kv_len(), self.kv.page_tokens);
+            let bytes = s.request.model.config().kv_cache_bytes(s.kv_len(), KV_BITS);
+            s.migrations += 1;
+            self.migrations += 1;
+            self.migrated_pages += pages as u64;
+            return Some(Migration { pages, bytes });
+        }
+        let needed = self.sessions[i].page_table.mapped_pages();
+        assert!(needed > 0, "a migrating session must hold pages");
+        let from_pool = self.sessions[i].page_table.home().expect("mapped pages imply a home");
+        if self.pools[to_pool].free_pages() < needed {
+            return None;
+        }
+        let mut table = std::mem::take(&mut self.sessions[i].page_table);
+        let (from, to) = self.pool_pair_mut(from_pool, to_pool);
+        let moved = table.migrate(from, to_pool, to).expect("free pages were just checked");
+        let s = &mut self.sessions[i];
+        s.page_table = table;
+        s.migrations += 1;
+        let bytes = s.request.model.config().kv_cache_bytes(s.kv_len(), KV_BITS);
+        self.migrations += 1;
+        self.migrated_pages += moved as u64;
+        Some(Migration { pages: moved, bytes })
+    }
+
+    /// Raises session `id`'s ready cycle to at least `cycle` — how the
+    /// executor keeps a migrated session causal: its next decode step cannot
+    /// start before its KV pages have finished streaming over the NoC.
+    pub fn stall_session_until(&mut self, id: RequestId, cycle: u64) {
+        let i = self.sidx(id);
+        let s = &mut self.sessions[i];
+        s.ready_cycle = s.ready_cycle.max(cycle);
     }
 
     /// Applies the effects of an executed micro-batch at simulated cycle
@@ -777,7 +1204,8 @@ impl Scheduler {
     /// Panics if the batch references an id this scheduler did not issue.
     pub fn complete(&mut self, batch: &MicroBatch, end_cycle: u64) {
         for item in &batch.items {
-            let s = &mut self.sessions[item.id.0 as usize];
+            let i = self.sidx(item.id);
+            let s = &mut self.sessions[i];
             match item.phase {
                 Phase::Prefill => {
                     s.prefilled_tokens += item.tokens;
@@ -858,6 +1286,7 @@ mod tests {
             token_budget: 64,
             prefill_chunk: 32,
             policy: SchedulingPolicy::Fcfs,
+            ..SchedulerConfig::default()
         });
         let a = sched.submit(request(ModelId::Llama2_7b, 100, 4));
         let b = sched.submit(request(ModelId::Llama2_7b, 40, 4));
@@ -960,6 +1389,7 @@ mod tests {
             token_budget: 1024,
             prefill_chunk: 512,
             policy: SchedulingPolicy::ShortestPrefillFirst,
+            ..SchedulerConfig::default()
         });
         sched.submit(request(ModelId::Llama2_7b, 400, 2));
         let short = sched.submit(request(ModelId::Llama2_7b, 50, 2));
@@ -1021,6 +1451,7 @@ mod tests {
                 BatchItem { id: RequestId(3), phase: Phase::Prefill, tokens: 96, context_len: 224 },
             ],
             evicted_pages: 0,
+            swapped_out: Vec::new(),
         };
         let slices = batch.slices(128);
         assert_eq!(slices.len(), 3);
@@ -1045,6 +1476,7 @@ mod tests {
                 context_len,
             }],
             evicted_pages: 0,
+            swapped_out: Vec::new(),
         };
         let kv_bucket = 128;
         for (context_len, pages) in [(0, 1), (1, 1), (kv_bucket, 1), (kv_bucket + 1, 2)] {
@@ -1066,6 +1498,7 @@ mod tests {
                 context_len: 0,
             }],
             evicted_pages: 0,
+            swapped_out: Vec::new(),
         };
         assert_eq!(
             prefill.slices(kv_bucket),
@@ -1081,6 +1514,7 @@ mod tests {
             token_budget: 0,
             prefill_chunk: 1,
             policy: SchedulingPolicy::Fcfs,
+            ..SchedulerConfig::default()
         });
     }
 
@@ -1128,6 +1562,7 @@ mod tests {
                 token_budget: 8,
                 prefill_chunk: 4,
                 policy: SchedulingPolicy::Fcfs,
+                ..SchedulerConfig::default()
             },
             KvConfig::bounded(4, 4),
         );
@@ -1164,6 +1599,7 @@ mod tests {
                 token_budget: 16,
                 prefill_chunk: 8,
                 policy: SchedulingPolicy::Fcfs,
+                ..SchedulerConfig::default()
             },
             KvConfig::bounded(4, 4),
         );
@@ -1271,5 +1707,179 @@ mod tests {
         );
         let again = sched.next_micro_batch_on(1, 0).unwrap();
         assert_eq!(again.decode_slots(), 2);
+    }
+
+    use crate::kv::SloConfig;
+
+    /// The ids of a batch in scheduling order.
+    fn ids(batch: &MicroBatch) -> Vec<RequestId> {
+        batch.items.iter().map(|i| i.id).collect()
+    }
+
+    #[test]
+    fn round_robin_decode_slots_rotate_by_hand_computed_pattern() {
+        // Three decoding sessions, two decode slots per batch (overlapping
+        // prefill batches — as a multi-node executor forms — get all three
+        // decoding before any decode slot is granted). Round-robin must then
+        // serve {a,b}, {c,a}, {b,c}, {a,b}, … — each batch starting with the
+        // oldest session strictly after the last one served — so every
+        // session gets two slots out of every three batches.
+        let mut sched = Scheduler::new(SchedulerConfig {
+            max_batch: 2,
+            token_budget: 12,
+            prefill_chunk: 4,
+            ..SchedulerConfig::default()
+        });
+        let a = sched.submit(request(ModelId::Llama2_7b, 4, 6));
+        let b = sched.submit(request(ModelId::Llama2_7b, 4, 6));
+        let c = sched.submit(request(ModelId::Llama2_7b, 4, 6));
+        let p1 = sched.next_micro_batch(0).unwrap();
+        assert_eq!(ids(&p1), vec![a, b]);
+        let p2 = sched.next_micro_batch(0).unwrap();
+        assert_eq!(ids(&p2), vec![c], "overlapping batch picks up the third prompt");
+        sched.complete(&p1, 1);
+        sched.complete(&p2, 1);
+        // All three decode now; the hand-computed rotation:
+        let expected = [vec![a, b], vec![c, a], vec![b, c], vec![a, b], vec![c, a]];
+        let mut now = 1;
+        for want in expected {
+            let batch = sched.next_micro_batch(now).unwrap();
+            assert_eq!(ids(&batch), want, "rotation diverged at cycle {now}");
+            assert!(batch.items.iter().all(|i| i.phase == Phase::Decode));
+            now += 1;
+            sched.complete(&batch, now);
+        }
+    }
+
+    #[test]
+    fn fcfs_decode_order_starves_the_newest_generation() {
+        // The regression round-robin fixes: under the pre-rotation FCFS
+        // order the same three-session workload gives c no decode slot at
+        // all while a and b are alive.
+        let mut sched = Scheduler::new(SchedulerConfig {
+            max_batch: 2,
+            token_budget: 12,
+            prefill_chunk: 4,
+            decode_order: DecodeOrder::Fcfs,
+            ..SchedulerConfig::default()
+        });
+        let a = sched.submit(request(ModelId::Llama2_7b, 4, 6));
+        let b = sched.submit(request(ModelId::Llama2_7b, 4, 6));
+        let c = sched.submit(request(ModelId::Llama2_7b, 4, 6));
+        let p1 = sched.next_micro_batch(0).unwrap();
+        let p2 = sched.next_micro_batch(0).unwrap();
+        sched.complete(&p1, 1);
+        sched.complete(&p2, 1);
+        let mut now = 1;
+        // a and b need five decode slots each; every batch is [a, b].
+        for _ in 0..5 {
+            let batch = sched.next_micro_batch(now).unwrap();
+            assert_eq!(ids(&batch), vec![a, b]);
+            now += 1;
+            sched.complete(&batch, now);
+        }
+        assert!(sched.session(a).is_finished() && sched.session(b).is_finished());
+        assert_eq!(sched.session(c).generated_tokens, 1, "c decoded nothing so far");
+    }
+
+    #[test]
+    fn phase_filters_route_prefill_and_decode_separately() {
+        let mut sched = Scheduler::new(SchedulerConfig::default());
+        sched.submit(request(ModelId::Llama2_7b, 64, 3));
+        assert!(
+            sched.next_micro_batch_phased(0, 0, PhaseFilter::DecodeOnly).is_none(),
+            "a waiting prompt is not decode work"
+        );
+        let prefill = sched.next_micro_batch_phased(0, 0, PhaseFilter::PrefillOnly).unwrap();
+        assert!(prefill.items.iter().all(|i| i.phase == Phase::Prefill));
+        sched.complete(&prefill, 1);
+        assert!(
+            sched.next_micro_batch_phased(1, 0, PhaseFilter::PrefillOnly).is_none(),
+            "a decoding session is not prefill work"
+        );
+        let decode = sched.next_micro_batch_phased(1, 0, PhaseFilter::DecodeOnly).unwrap();
+        assert!(decode.items.iter().all(|i| i.phase == Phase::Decode));
+    }
+
+    #[test]
+    fn slo_admission_rejects_exactly_past_the_projected_ttft_boundary() {
+        // Target 1000 cycles at 10 cycles per prefill token: a 100-token
+        // prompt on an empty scheduler projects to exactly the target
+        // (admitted — the bound is not-greater-than), and a single further
+        // token of backlog pushes any prompt past it.
+        let slo = SloConfig { target_ttft_cycles: 1_000, cycles_per_prefill_token: 10 };
+        let kv = KvConfig::unbounded().with_slo(slo);
+        let mut sched = Scheduler::with_kv(SchedulerConfig::default(), kv);
+        let first = sched.try_submit(request(ModelId::Llama2_7b, 100, 2));
+        assert!(first.is_ok(), "projected == target must be admitted");
+        // Backlog is now 100 unprefilled tokens: even a 1-token prompt
+        // projects to 1010 > 1000.
+        assert_eq!(
+            sched.try_submit(request(ModelId::Llama2_7b, 1, 2)),
+            Err(AdmissionError::SloViolation { projected_cycles: 1_010, target_cycles: 1_000 })
+        );
+        assert_eq!(sched.rejected_count(), 1);
+        // Once the prompt prefills, the backlog drains and admission opens
+        // again (decoding sessions carry no prefill backlog).
+        let batch = sched.next_micro_batch(0).unwrap();
+        sched.complete(&batch, 1);
+        assert!(sched.try_submit(request(ModelId::Llama2_7b, 100, 2)).is_ok());
+        // A 101-token prompt alone projects to 1010: rejected on arrival.
+        let mut fresh = Scheduler::with_kv(SchedulerConfig::default(), kv);
+        assert_eq!(
+            fresh.try_submit(request(ModelId::Llama2_7b, 101, 2)),
+            Err(AdmissionError::SloViolation { projected_cycles: 1_010, target_cycles: 1_000 })
+        );
+    }
+
+    #[test]
+    fn slo_admission_only_counts_backlog_arriving_no_later() {
+        // Pre-submitted spread-arrival streams must not be spuriously
+        // rejected: a request arriving *before* the queued backlog does not
+        // wait behind it, so only sessions with arrival_cycle at or before
+        // the new request's count toward its projection.
+        let slo = SloConfig { target_ttft_cycles: 1_000, cycles_per_prefill_token: 10 };
+        let kv = KvConfig::unbounded().with_slo(slo);
+        let mut sched = Scheduler::with_kv(SchedulerConfig::default(), kv);
+        // 90 tokens of backlog arriving late.
+        assert!(sched
+            .try_submit(Request::new(ModelId::Llama2_7b, 90, 2).arriving_at(5_000))
+            .is_ok());
+        // An earlier-arriving 80-token prompt sees none of it: 800 <= 1000.
+        assert!(sched.try_submit(Request::new(ModelId::Llama2_7b, 80, 2)).is_ok());
+        // A prompt arriving alongside the late one sees both: (90 + 80 + 50)
+        // * 10 = 2200 > 1000.
+        assert_eq!(
+            sched.try_submit(Request::new(ModelId::Llama2_7b, 50, 2).arriving_at(5_000)),
+            Err(AdmissionError::SloViolation { projected_cycles: 2_200, target_cycles: 1_000 })
+        );
+    }
+
+    #[test]
+    fn retire_finished_prefix_drops_only_the_finished_prefix() {
+        let mut sched = Scheduler::new(SchedulerConfig::default());
+        let a = sched.submit(request(ModelId::Llama2_7b, 8, 1));
+        let b = sched.submit(request(ModelId::Llama2_7b, 600, 1));
+        // a finishes in one chunk; b still has prefill left.
+        let batch = sched.next_micro_batch(0).unwrap();
+        sched.complete(&batch, 1);
+        assert!(sched.session(a).is_finished());
+        assert!(!sched.session(b).is_finished());
+        assert_eq!(sched.retire_finished_prefix(), 1);
+        assert_eq!(sched.retired_session_count(), 1);
+        assert_eq!(sched.submitted_count(), 2);
+        assert_eq!(sched.sessions().len(), 1, "only the finished prefix retires");
+        assert_eq!(sched.session(b).id, b, "ids keep resolving after retirement");
+        assert_eq!(sched.retire_finished_prefix(), 0, "b is unfinished, nothing to retire");
+        // The rest of the run drains normally.
+        let mut now = 1;
+        while !sched.all_finished() {
+            let batch = sched.next_micro_batch(now).unwrap();
+            now += 1;
+            sched.complete(&batch, now);
+        }
+        assert_eq!(sched.retire_finished_prefix(), 1);
+        assert_eq!(sched.sessions().len(), 0);
+        assert!(sched.all_finished());
     }
 }

@@ -33,6 +33,12 @@ pub struct RequestStats {
     /// NoC transfer energy attributed to this request in µJ (inter-node
     /// activation / accumulation movement; zero on a single node).
     pub noc_energy_uj: f64,
+    /// KV-cache bytes this request's pages moved over the NoC (prefill→
+    /// decode handoffs, swap-outs and swap-ins under disaggregated
+    /// placement; zero under colocated placement).
+    pub kv_transfer_bytes: u64,
+    /// NoC energy of those KV transfers in µJ.
+    pub kv_transfer_energy_uj: f64,
     /// Micro-batches the request participated in.
     pub micro_batches: u64,
 }
@@ -90,11 +96,28 @@ pub struct KvStats {
     pub reprefill_tokens: u64,
     /// Pages released by evictions.
     pub evicted_pages: u64,
-    /// Submissions rejected by admission control (queue depth bound, or a
-    /// request that could never fit the pool).
+    /// Submissions rejected by admission control (queue depth bound, a
+    /// request that could never fit the pool, or a projected-TTFT SLO
+    /// violation).
     pub rejected_requests: u64,
     /// Page-fault stall cycles charged by the executor for evictions.
     pub fault_stall_cycles: u64,
+    /// KV-page migrations between pools (prefill→decode handoffs plus
+    /// swap-ins); zero under colocated placement.
+    pub migrations: u64,
+    /// Pages moved by those migrations.
+    pub migrated_pages: u64,
+    /// Sessions paged out of a decode pool under swap-style preemption.
+    pub swap_outs: u64,
+    /// Pages moved by those swap-outs.
+    pub swapped_pages: u64,
+    /// KV bytes moved over the NoC by migrations and swaps.
+    pub transfer_bytes: u64,
+    /// NoC energy of those KV transfers in µJ.
+    pub transfer_energy_uj: f64,
+    /// Stall cycles spent streaming KV transfers (receiving-node stalls for
+    /// migrations and swap-ins, batch stalls for swap-outs).
+    pub transfer_stall_cycles: u64,
 }
 
 impl KvStats {
@@ -202,7 +225,22 @@ impl fmt::Display for RuntimeReport {
                 self.kv.fault_stall_cycles,
                 self.kv.rejected_requests,
             ),
+        }?;
+        if self.kv.migrations > 0 || self.kv.swap_outs > 0 {
+            write!(
+                f,
+                "\nKV transfers: {} migrations ({} pages), {} swap-outs ({} pages), {} B over \
+                 the NoC ({:.3} µJ, {} stall cycles)",
+                self.kv.migrations,
+                self.kv.migrated_pages,
+                self.kv.swap_outs,
+                self.kv.swapped_pages,
+                self.kv.transfer_bytes,
+                self.kv.transfer_energy_uj,
+                self.kv.transfer_stall_cycles,
+            )?;
         }
+        Ok(())
     }
 }
 
@@ -266,6 +304,7 @@ mod tests {
             evicted_pages: 12,
             rejected_requests: 2,
             fault_stall_cycles: 3072,
+            ..KvStats::default()
         };
         let text = pressured.to_string();
         assert!(text.contains("peak 192/256 pages"));

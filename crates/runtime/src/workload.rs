@@ -36,6 +36,20 @@ impl WorkloadSpec {
     pub fn kv_pressure() -> Self {
         WorkloadSpec { prompt_tokens: (64, 256), output_tokens: (48, 96), arrival_spread_cycles: 0 }
     }
+
+    /// A mixed long-prefill workload: long prompts (768–2048 tokens) with
+    /// moderate generations (32–64 tokens), arrivals spread over `spread`
+    /// cycles so prefill chunks and decode slots keep contending for the
+    /// whole run — the regime where colocated placement inflates decode
+    /// TPOT and prefill/decode disaggregation pays off. Used by the
+    /// `disagg` integration tests and the `disagg_sweep` bench.
+    pub fn mixed_long_prefill(spread: u64) -> Self {
+        WorkloadSpec {
+            prompt_tokens: (768, 2048),
+            output_tokens: (32, 64),
+            arrival_spread_cycles: spread,
+        }
+    }
 }
 
 /// Generates `count` deterministic requests round-robined across `models`

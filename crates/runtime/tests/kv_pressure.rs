@@ -145,10 +145,11 @@ fn hand_computed_preemption_counters() {
                 token_budget: 8,
                 prefill_chunk: 4,
                 policy: SchedulingPolicy::Fcfs,
+                ..SchedulerConfig::default()
             },
             KvConfig::bounded(4, 4),
         ),
-        ExecutorConfig { kv_bucket: 4, fault_stall_cycles: fault },
+        ExecutorConfig { kv_bucket: 4, fault_stall_cycles: fault, ..ExecutorConfig::default() },
         Placement::single_node(),
     );
     engine.submit(Request::new(ModelId::Llama2_7b, 4, 8));

@@ -11,7 +11,7 @@ use mugi::arch::noc::NocConfig;
 use mugi::MugiAccelerator;
 use mugi_runtime::{
     pages_for, Executor, ExecutorConfig, KvConfig, KvPool, PageId, PageTable, Placement, Request,
-    Scheduler, SchedulerConfig, SchedulingPolicy,
+    Scheduler, SchedulerConfig, SchedulingPolicy, KV_BITS,
 };
 use mugi_workloads::models::ModelId;
 use proptest::prelude::*;
@@ -69,6 +69,7 @@ prop_compose! {
             } else {
                 SchedulingPolicy::Fcfs
             },
+            ..SchedulerConfig::default()
         }
     }
 }
@@ -317,6 +318,144 @@ proptest! {
         let mut bounded_sans_kv = bounded.clone();
         bounded_sans_kv.kv = unbounded.kv;
         prop_assert_eq!(&unbounded, &bounded_sans_kv);
+    }
+
+    #[test]
+    fn disaggregated_pools_conserve_tokens_across_handoffs(
+        requests in prop::collection::vec(small_request_strategy(), 1..10),
+        prefill_nodes in 1usize..4,
+        swap in any::<bool>(),
+        bounded in any::<bool>(),
+        headroom in 0usize..3,
+    ) {
+        // Token conservation and liveness across prefill→decode pool
+        // handoffs: whatever the split of a 2×2 mesh, the preemption mode
+        // and the pool pressure, every request finishes with exact token
+        // accounting, every page comes home and no migration is stranded.
+        let page_tokens = 32;
+        let noc = NocConfig { rows: 2, cols: 2 };
+        let kv = if bounded {
+            let max_need = requests
+                .iter()
+                .map(|r| pages_for(r.prompt_tokens + r.output_tokens, page_tokens))
+                .max()
+                .unwrap();
+            let kv = KvConfig::bounded(page_tokens, max_need + headroom);
+            if swap { kv.with_swap_preemption() } else { kv }
+        } else {
+            KvConfig { page_tokens, ..KvConfig::unbounded() }
+        };
+        let mut ex = Executor::with_placement(
+            MugiAccelerator::new(64),
+            Scheduler::with_kv(SchedulerConfig::default(), kv),
+            ExecutorConfig { kv_bucket: page_tokens, ..ExecutorConfig::default() },
+            Placement::disaggregated(noc, prefill_nodes),
+        );
+        for r in &requests {
+            ex.submit(*r);
+        }
+        let report = ex.run();
+        prop_assert_eq!(report.requests.len(), requests.len());
+        let expected: u64 = requests.iter().map(|r| r.output_tokens as u64).sum();
+        prop_assert_eq!(report.total_output_tokens, expected);
+        for s in ex.scheduler().sessions() {
+            prop_assert!(s.is_finished(), "a session starved across the handoff");
+            prop_assert_eq!(s.generated_tokens, s.request.output_tokens);
+            prop_assert_eq!(s.page_table.mapped_pages(), 0, "finished sessions hold pages");
+        }
+        prop_assert_eq!(ex.scheduler().kv_used_pages(), 0, "pages leaked");
+        prop_assert_eq!(ex.pending_migration_count(), 0, "a migration was stranded");
+        // Transfers flow exactly when KV moves; swaps never appear without
+        // the swap mode, and swap-outs and recompute evictions are the only
+        // extra migration sources.
+        prop_assert_eq!(report.kv.migrations > 0, report.kv.transfer_bytes > 0);
+        if !swap || !bounded {
+            prop_assert_eq!(report.kv.swap_outs, 0);
+        }
+        if report.kv.preemptions == 0 && report.kv.swap_outs == 0 {
+            // Every multi-token session migrates exactly once: at its one
+            // and only prefill completion. Single-token sessions finish at
+            // prefill completion and never migrate.
+            let multi = requests.iter().filter(|r| r.output_tokens >= 2).count() as u64;
+            prop_assert_eq!(report.kv.migrations, multi);
+        }
+    }
+
+    #[test]
+    fn unbounded_disaggregation_migrates_once_per_prefill_completion(
+        requests in prop::collection::vec(small_request_strategy(), 1..10),
+        prefill_nodes in 1usize..4,
+    ) {
+        // With an unbounded pool nothing is ever preempted, so the
+        // migrated-page count is exactly the page equivalent of each
+        // multi-token session's prompt-plus-first-token KV at handoff time.
+        let noc = NocConfig { rows: 2, cols: 2 };
+        let mut ex = Executor::with_placement(
+            MugiAccelerator::new(64),
+            Scheduler::new(SchedulerConfig::default()),
+            ExecutorConfig::default(),
+            Placement::disaggregated(noc, prefill_nodes),
+        );
+        for r in &requests {
+            ex.submit(*r);
+        }
+        let report = ex.run();
+        let page_tokens = ex.scheduler().kv_config().page_tokens;
+        let multi: Vec<&Request> =
+            requests.iter().filter(|r| r.output_tokens >= 2).collect();
+        prop_assert_eq!(report.kv.migrations, multi.len() as u64);
+        let expected_pages: u64 =
+            multi.iter().map(|r| pages_for(r.prompt_tokens + 1, page_tokens) as u64).sum();
+        prop_assert_eq!(report.kv.migrated_pages, expected_pages);
+        let expected_bytes: u64 = multi
+            .iter()
+            .map(|r| r.model.config().kv_cache_bytes(r.prompt_tokens + 1, KV_BITS))
+            .sum();
+        prop_assert_eq!(report.kv.transfer_bytes, expected_bytes);
+        for s in ex.scheduler().sessions() {
+            prop_assert_eq!(
+                u64::from(s.migrations),
+                u64::from(s.request.output_tokens >= 2)
+            );
+        }
+    }
+
+    #[test]
+    fn swap_mode_is_inert_on_colocated_placements(
+        requests in prop::collection::vec(small_request_strategy(), 1..8),
+        headroom in 0usize..2,
+        sharded in any::<bool>(),
+    ) {
+        // Swap-style preemption needs a prefill pool to page into; colocated
+        // placements have none, so the mode must fall back to recompute and
+        // reproduce the recompute run bit for bit even under heavy
+        // preemption pressure.
+        let page_tokens = 32;
+        let max_need = requests
+            .iter()
+            .map(|r| pages_for(r.prompt_tokens + r.output_tokens, page_tokens))
+            .max()
+            .unwrap();
+        let noc = NocConfig { rows: 2, cols: 2 };
+        let placement =
+            if sharded { Placement::sharded(noc) } else { Placement::data_parallel(noc) };
+        let run = |kv: KvConfig| {
+            let mut ex = Executor::with_placement(
+                MugiAccelerator::new(64),
+                Scheduler::with_kv(SchedulerConfig::default(), kv),
+                ExecutorConfig { kv_bucket: page_tokens, ..ExecutorConfig::default() },
+                placement,
+            );
+            for r in &requests {
+                ex.submit(*r);
+            }
+            ex.run()
+        };
+        let kv = KvConfig::bounded(page_tokens, max_need + headroom);
+        let recompute = run(kv);
+        let swap = run(kv.with_swap_preemption());
+        prop_assert_eq!(swap.kv.swap_outs, 0, "no prefill pool exists to swap into");
+        prop_assert_eq!(&recompute, &swap);
     }
 
     #[test]
