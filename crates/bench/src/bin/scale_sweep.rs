@@ -1,0 +1,179 @@
+//! Simulator-scale sweep: how fast and in how much memory the runtime
+//! itself serves 10⁴ → 10⁶ requests — the numbers behind the "Scale & the
+//! event engine" section of EXPERIMENTS.md.
+//!
+//! Three engines run the same seeded open-loop Poisson workload at each
+//! request count:
+//!
+//! * `per-step` — the cycle-stepping `Executor` with the whole trace
+//!   materialized and pre-submitted (the original path; skipped at 10⁶,
+//!   where holding a million sessions plus a million stat records is
+//!   exactly the curve this sweep exists to show);
+//! * `event` — the `EventEngine` on the same pre-submitted trace, which
+//!   must produce the identical report (asserted);
+//! * `event-folded` — the `EventEngine` fed lazily from a `WorkloadStream`,
+//!   folding every retired session into a `StatsFold`, so memory is O(live
+//!   sessions) regardless of the horizon.
+//!
+//! Reported per row: simulator wall-clock, requests simulated per second of
+//! wall-clock, peak live sessions, peak event-queue length and the
+//! process's peak RSS so far (Linux `VmHWM`; monotone across rows, so only
+//! growth between rows is attributable to the row).
+//!
+//! Run with: `cargo run --release -p mugi-bench --bin scale_sweep`
+//! (pass `--quick` for a reduced sweep).
+
+use mugi::report::TextTable;
+use mugi::MugiAccelerator;
+use mugi_runtime::{
+    EventEngine, Executor, ScaleReport, Scheduler, SchedulerConfig, StatsFold, WorkloadSpec,
+    WorkloadStream,
+};
+use mugi_workloads::models::ModelId;
+use std::time::Instant;
+
+const SEED: u64 = 4242;
+const MODEL: ModelId = ModelId::Llama2_7b;
+
+/// Open-loop tiny-request workload at ~0.6x the batched service rate of the
+/// 64-lane node, so the live population equilibrates at a few dozen
+/// sessions however long the stream runs.
+fn spec() -> WorkloadSpec {
+    WorkloadSpec { prompt_tokens: (8, 24), output_tokens: (1, 4), ..WorkloadSpec::default() }
+        .with_poisson_arrivals(3_000_000_000)
+}
+
+fn engine() -> EventEngine {
+    EventEngine::new(MugiAccelerator::new(64), Scheduler::new(SchedulerConfig::default()))
+}
+
+/// Peak resident set of this process in MiB (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux.
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib / 1024.0)
+}
+
+struct Row {
+    engine: &'static str,
+    wall_s: f64,
+    fold: StatsFold,
+    peak_live: usize,
+    peak_queue: usize,
+}
+
+fn run_per_step(count: usize) -> Row {
+    let t0 = Instant::now();
+    let mut ex =
+        Executor::new(MugiAccelerator::new(64), Scheduler::new(SchedulerConfig::default()));
+    for r in WorkloadStream::new(SEED, &[MODEL], spec()).take(count) {
+        ex.submit(r);
+    }
+    let report = ex.run();
+    Row {
+        engine: "per-step",
+        wall_s: t0.elapsed().as_secs_f64(),
+        fold: StatsFold::of_report(&report),
+        peak_live: count, // everything is materialized and live at once
+        peak_queue: 0,
+    }
+}
+
+fn run_event_presubmitted(count: usize) -> Row {
+    let t0 = Instant::now();
+    let mut ev = engine();
+    for r in WorkloadStream::new(SEED, &[MODEL], spec()).take(count) {
+        ev.submit(r);
+    }
+    let report = ev.run();
+    Row {
+        engine: "event",
+        wall_s: t0.elapsed().as_secs_f64(),
+        fold: StatsFold::of_report(&report),
+        peak_live: count,
+        peak_queue: ev.queue().peak_len(),
+    }
+}
+
+fn run_event_folded(count: usize) -> (Row, ScaleReport) {
+    let t0 = Instant::now();
+    let mut ev = engine();
+    let report = ev.run_stream_folded(WorkloadStream::new(SEED, &[MODEL], spec()).take(count));
+    let row = Row {
+        engine: "event-folded",
+        wall_s: t0.elapsed().as_secs_f64(),
+        fold: report.fold,
+        peak_live: report.peak_live_sessions,
+        peak_queue: report.peak_event_queue,
+    };
+    (row, report)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let counts: &[usize] = if quick { &[10_000, 100_000] } else { &[10_000, 100_000, 1_000_000] };
+    // The per-step oracle's O(total) memory and stat records make it the
+    // contrast curve, not the scale path; cap how far it is driven.
+    let per_step_cap = if quick { 10_000 } else { 100_000 };
+
+    let mut table = TextTable::new(
+        "Simulator scale sweep (open-loop Poisson, tiny requests, single 64-lane node)",
+        &["requests", "engine", "wall s", "req/s (sim)", "peak live", "peak queue", "peak RSS MiB"],
+    );
+
+    for &count in counts {
+        let mut rows: Vec<Row> = Vec::new();
+        let mut reference: Option<StatsFold> = None;
+        if count <= per_step_cap {
+            rows.push(run_per_step(count));
+        }
+        if count <= per_step_cap {
+            rows.push(run_event_presubmitted(count));
+        }
+        let (folded, report) = run_event_folded(count);
+        assert_eq!(folded.fold.requests, count as u64, "every generated request must retire");
+        // The fold's order-sensitive identity checksum must match a second
+        // pass of the same seeded stream: nothing lost, nothing reordered.
+        let mut checksum = 0u64;
+        for (id, r) in WorkloadStream::new(SEED, &[MODEL], spec()).take(count).enumerate() {
+            checksum =
+                StatsFold::fold_identity(checksum, id as u64, r.prompt_tokens, r.output_tokens);
+        }
+        assert_eq!(folded.fold.identity_checksum, checksum, "identity checksum drifted");
+        assert!(
+            report.peak_live_sessions * 100 < count.max(10_000),
+            "live population {} is not O(live sessions) at count {count}",
+            report.peak_live_sessions
+        );
+        rows.push(folded);
+
+        for row in rows {
+            // Every engine that ran the same count must agree bit for bit.
+            match &reference {
+                None => reference = Some(row.fold),
+                Some(golden) => assert_eq!(
+                    golden, &row.fold,
+                    "{} diverged from the per-step oracle at count {count}",
+                    row.engine
+                ),
+            }
+            table.add_row(vec![
+                count.to_string(),
+                row.engine.to_string(),
+                format!("{:.3}", row.wall_s),
+                format!("{:.0}", count as f64 / row.wall_s.max(1e-9)),
+                row.peak_live.to_string(),
+                row.peak_queue.to_string(),
+                peak_rss_mib().map_or("-".to_string(), |m| format!("{m:.0}")),
+            ]);
+        }
+    }
+
+    println!("{}", table.render());
+    println!(
+        "engines on one row serve the identical seeded workload and are asserted \
+         bit-identical; peak RSS is the process high-water mark (monotone across rows)"
+    );
+}

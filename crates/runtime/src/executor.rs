@@ -89,12 +89,17 @@ struct Accounting {
 
 /// A dispatched micro-batch whose completion effects are still pending.
 #[derive(Clone, Debug)]
-struct InFlight {
-    batch: MicroBatch,
+pub(crate) struct InFlight {
+    pub(crate) batch: MicroBatch,
     /// Executing node (0 for sharded batches, which occupy every node).
-    node: usize,
+    pub(crate) node: usize,
     /// Cycle at which the batch finishes and its effects apply.
-    end: u64,
+    pub(crate) end: u64,
+    /// Monotone dispatch sequence number. Completions tie-break on it: the
+    /// per-step executor's `(end, Vec index)` order and the event engine's
+    /// `(end, seq)` heap order pick the same batch, because `Vec::remove`
+    /// preserves insertion order and insertion order *is* seq order.
+    pub(crate) seq: u64,
 }
 
 /// A simulated serving engine: one scheduler feeding a pool of accelerator
@@ -102,12 +107,12 @@ struct InFlight {
 #[derive(Clone, Debug)]
 pub struct Executor {
     accel: MugiAccelerator,
-    scheduler: Scheduler,
-    config: ExecutorConfig,
+    pub(crate) scheduler: Scheduler,
+    pub(crate) config: ExecutorConfig,
     placement: Placement,
     cost: CostModel,
-    pool: NodePool,
-    in_flight: Vec<InFlight>,
+    pub(crate) pool: NodePool,
+    pub(crate) in_flight: Vec<InFlight>,
     clock_cycles: u64,
     steps: u64,
     accounting: Vec<Accounting>,
@@ -123,11 +128,11 @@ pub struct Executor {
     /// Whether each node has its own KV pool (bounded data-parallel
     /// placement): dispatch must then consider every idle node, since a
     /// session may only run where its pages live.
-    multi_pool: bool,
+    pub(crate) multi_pool: bool,
     /// Whether the placement disaggregates prefill from decode: dispatch
     /// phase-filters every node and completed prefills migrate their KV
     /// pages to a decode node.
-    disagg: bool,
+    pub(crate) disagg: bool,
     /// Sessions whose KV pages are waiting to move into a decode pool —
     /// completed prefills plus swapped-out victims. Retried after every
     /// completion (completions are what free decode-pool pages).
@@ -324,7 +329,7 @@ impl Executor {
     /// The KV pool node `i` allocates from: its own under data-parallel and
     /// disaggregated placement, the single aggregate pool under sharded
     /// placement.
-    fn pool_for(&self, i: usize) -> usize {
+    pub(crate) fn pool_for(&self, i: usize) -> usize {
         match self.placement.policy {
             PlacementPolicy::DataParallel | PlacementPolicy::Disaggregated { .. } => i,
             PlacementPolicy::Sharded => 0,
@@ -333,7 +338,7 @@ impl Executor {
 
     /// The phases node `i` may execute: both on every colocated policy,
     /// split by node role under disaggregation.
-    fn phase_for(&self, i: usize) -> PhaseFilter {
+    pub(crate) fn phase_for(&self, i: usize) -> PhaseFilter {
         match self.placement.node_role(i) {
             PoolRole::Colocated => PhaseFilter::Both,
             PoolRole::Prefill => PhaseFilter::PrefillOnly,
@@ -342,7 +347,7 @@ impl Executor {
     }
 
     /// Whether node `i` currently executes an in-flight batch.
-    fn occupied(&self, i: usize) -> bool {
+    pub(crate) fn occupied(&self, i: usize) -> bool {
         match self.placement.policy {
             PlacementPolicy::Sharded => !self.in_flight.is_empty(),
             PlacementPolicy::DataParallel | PlacementPolicy::Disaggregated { .. } => {
@@ -366,7 +371,7 @@ impl Executor {
     /// freshly completed prefills queue for migration, and every pending
     /// migration is retried (a completion is exactly what frees decode-pool
     /// pages or produces new movable KV).
-    fn finish(&mut self, idx: usize) {
+    pub(crate) fn finish(&mut self, idx: usize) {
         let pending = self.in_flight.remove(idx);
         self.scheduler.complete(&pending.batch, pending.end);
         self.clock_cycles = self.clock_cycles.max(pending.end);
@@ -465,15 +470,26 @@ impl Executor {
     /// session window into `retired_stats` and drops the sessions plus
     /// their accounting slots.
     fn retire_finished(&mut self) {
+        let stats = self.take_retirable_stats();
+        self.retired_stats.extend(stats);
+    }
+
+    /// Retires every finished session at the front of the session window —
+    /// dropping it from the scheduler, folding its NoC energy and freeing
+    /// its accounting slot — and returns its statistics in id order. The
+    /// per-step executor keeps them in `retired_stats` for the full report;
+    /// the event engine's folded mode streams them into a
+    /// [`StatsFold`](crate::stats::StatsFold) instead, so nothing grows
+    /// with the request count.
+    pub(crate) fn take_retirable_stats(&mut self) -> Vec<RequestStats> {
         let prefix = self.scheduler.sessions().iter().take_while(|s| s.is_finished()).count();
         if prefix == 0 {
-            return;
+            return Vec::new();
         }
         let stats: Vec<RequestStats> = self.scheduler.sessions()[..prefix]
             .iter()
             .filter_map(|s| self.session_stats(s))
             .collect();
-        self.retired_stats.extend(stats);
         let retired = self.scheduler.retire_finished_prefix();
         debug_assert_eq!(retired, prefix);
         for a in &self.accounting[..retired] {
@@ -481,6 +497,7 @@ impl Executor {
         }
         self.accounting.drain(..retired);
         self.acct_base += retired;
+        stats
     }
 
     /// Dispatches one micro-batch. Returns `false` once every submitted
@@ -567,15 +584,13 @@ impl Executor {
             // the earliest idle clock, so no node can dispatch before it:
             // advance every earlier node in one pass instead of re-scanning
             // the scheduler once per node.
-            for i in 0..self.pool.len() {
-                self.pool.wait_until(i, next);
-            }
+            self.pool.wait_all_until(next);
         }
     }
 
     /// Evaluates one micro-batch on the accelerator model, occupies its
     /// node(s) and queues the completion.
-    fn dispatch(&mut self, node: usize, batch: MicroBatch, start: u64) {
+    pub(crate) fn dispatch(&mut self, node: usize, batch: MicroBatch, start: u64) {
         let slices = batch.slices(self.config.kv_bucket);
         let noc = self.placement.noc;
         let (step_cycles, compute_energy_pj, noc_energy_pj, attention_energy_pj) =
@@ -647,7 +662,7 @@ impl Executor {
             acct.noc_energy_pj += noc_energy_pj * item.tokens as f64 / total_tokens;
             acct.micro_batches += 1;
         }
-        self.in_flight.push(InFlight { batch, node, end });
+        self.in_flight.push(InFlight { batch, node, end, seq: self.steps });
     }
 
     /// Runs until every submitted request has finished, then reports.
@@ -658,7 +673,7 @@ impl Executor {
 
     /// The statistics of one finished session (`None` while it is still
     /// running).
-    fn session_stats(&self, s: &Session) -> Option<RequestStats> {
+    pub(crate) fn session_stats(&self, s: &Session) -> Option<RequestStats> {
         let freq = self.accel.frequency_hz();
         let to_s = |cycles: u64| cycles as f64 / freq;
         let (Some(first), Some(finish)) = (s.first_token_cycle, s.finish_cycle) else {
@@ -731,23 +746,29 @@ impl Executor {
                 total_pj * 1e-6
             },
             node_busy_cycles: self.pool.busy().to_vec(),
-            kv: KvStats {
-                page_tokens: self.scheduler.kv_config().page_tokens,
-                capacity_pages: self.scheduler.kv_capacity_pages(),
-                peak_used_pages: self.scheduler.kv_peak_used_pages(),
-                preemptions: self.scheduler.preemption_count(),
-                reprefill_tokens: self.scheduler.reprefill_token_count(),
-                evicted_pages: self.scheduler.evicted_page_count(),
-                rejected_requests: self.scheduler.rejected_count(),
-                fault_stall_cycles: self.fault_stall_cycles,
-                migrations: self.scheduler.migration_count(),
-                migrated_pages: self.scheduler.migrated_page_count(),
-                swap_outs: self.scheduler.swap_out_count(),
-                swapped_pages: self.scheduler.swapped_page_count(),
-                transfer_bytes: self.transfer_bytes,
-                transfer_energy_uj: self.transfer_energy_pj * 1e-6,
-                transfer_stall_cycles: self.transfer_stall_cycles,
-            },
+            kv: self.kv_stats(),
+        }
+    }
+
+    /// The run's paged-KV statistics so far (shared by [`Executor::report`]
+    /// and the event engine's folded report).
+    pub(crate) fn kv_stats(&self) -> KvStats {
+        KvStats {
+            page_tokens: self.scheduler.kv_config().page_tokens,
+            capacity_pages: self.scheduler.kv_capacity_pages(),
+            peak_used_pages: self.scheduler.kv_peak_used_pages(),
+            preemptions: self.scheduler.preemption_count(),
+            reprefill_tokens: self.scheduler.reprefill_token_count(),
+            evicted_pages: self.scheduler.evicted_page_count(),
+            rejected_requests: self.scheduler.rejected_count(),
+            fault_stall_cycles: self.fault_stall_cycles,
+            migrations: self.scheduler.migration_count(),
+            migrated_pages: self.scheduler.migrated_page_count(),
+            swap_outs: self.scheduler.swap_out_count(),
+            swapped_pages: self.scheduler.swapped_page_count(),
+            transfer_bytes: self.transfer_bytes,
+            transfer_energy_uj: self.transfer_energy_pj * 1e-6,
+            transfer_stall_cycles: self.transfer_stall_cycles,
         }
     }
 }

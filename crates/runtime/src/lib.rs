@@ -27,10 +27,17 @@
 //!   micro-batches (composed into mixed prefill/decode operator traces,
 //!   cached per shape), charges NoC transfer energy for inter-node movement
 //!   and keeps per-request cycle/energy accounting;
+//! * [`event`] — the discrete-event [`EventEngine`]: the same machinery
+//!   driven by a binary-heap [`EventQueue`] of arrival/completion events
+//!   instead of the per-step outer loop, bit-identical to the [`Executor`]
+//!   (the golden/property suites pin this) while serving lazily-streamed
+//!   workloads of millions of requests in O(live sessions) memory;
 //! * [`stats`] — TTFT/TPOT/throughput per request plus p50/p95/p99
-//!   aggregates in a [`RuntimeReport`];
-//! * [`workload`] — deterministic synthetic request streams for examples,
-//!   sweeps and tests.
+//!   aggregates in a [`RuntimeReport`], and the O(1) [`StatsFold`] /
+//!   [`ScaleReport`] the event engine folds retired sessions into;
+//! * [`workload`] — deterministic synthetic request streams — materialized
+//!   via [`synthetic_requests`] or lazily via a [`WorkloadStream`] — with
+//!   uniform-spread or open-loop Poisson [`ArrivalModel`]s.
 //!
 //! # Example
 //!
@@ -54,6 +61,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod event;
 pub mod executor;
 pub mod kv;
 pub mod placement;
@@ -62,16 +70,17 @@ pub mod scheduler;
 pub mod stats;
 pub mod workload;
 
+pub use event::{Event, EventEngine, EventKind, EventQueue};
 pub use executor::{Executor, ExecutorConfig};
 pub use kv::{
     pages_for, AdmissionError, KvConfig, KvPool, PageId, PageTable, PreemptionMode, SloConfig,
     KV_BITS,
 };
 pub use placement::{NodePool, Placement, PlacementPolicy, PoolRole};
-pub use request::{Request, RequestId, Session, SessionState};
+pub use request::{Request, RequestId, Session, SessionArena, SessionState};
 pub use scheduler::{
     BatchItem, DecodeOrder, MicroBatch, Migration, PhaseFilter, Scheduler, SchedulerConfig,
     SchedulingPolicy, SwapOut,
 };
-pub use stats::{KvStats, Percentiles, RequestStats, RuntimeReport};
-pub use workload::{synthetic_requests, WorkloadSpec};
+pub use stats::{KvStats, Percentiles, RequestStats, RuntimeReport, ScaleReport, StatsFold};
+pub use workload::{synthetic_requests, ArrivalModel, WorkloadSpec, WorkloadStream};

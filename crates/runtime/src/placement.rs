@@ -250,6 +250,17 @@ impl NodePool {
             self.free_at[i] = cycle;
         }
     }
+
+    /// Idles every node whose clock lags `cycle` forward to it — the
+    /// executors' idle jump when the only remaining work is a future
+    /// arrival. One pass over the pool; waiting never accrues busy cycles.
+    pub fn wait_all_until(&mut self, cycle: u64) {
+        for free in &mut self.free_at {
+            if *free < cycle {
+                *free = cycle;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -182,6 +182,130 @@ impl Session {
     }
 }
 
+/// Flat session storage keyed by dense [`RequestId`]s: every session ever
+/// admitted occupies the slot `id - retired_count()` of the live window, in
+/// submission order. Retirement advances a head index instead of shifting
+/// the vector, and the retired prefix is compacted away only once it
+/// outgrows the live tail — so `retire_prefix` is amortized O(1), the
+/// backing vector never holds more than ~2× the live sessions, and
+/// [`SessionArena::live`] stays a plain contiguous `&[Session]` for the
+/// scheduler's index arithmetic.
+#[derive(Clone, Debug, Default)]
+pub struct SessionArena {
+    /// Backing slots: `slots[head..]` is the live window in id order.
+    slots: Vec<Session>,
+    /// Retired slots below this index await compaction.
+    head: usize,
+    /// Total sessions ever retired (monotone; `head` resets at compaction,
+    /// this never does).
+    retired: usize,
+    /// High-water mark of the live window.
+    peak_live: usize,
+}
+
+/// Retired slots are compacted once the dead prefix exceeds both this floor
+/// and the live tail, bounding both the compaction frequency and the memory
+/// overhead.
+const ARENA_COMPACT_FLOOR: usize = 64;
+
+impl SessionArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        SessionArena::default()
+    }
+
+    /// Appends a session to the live window. The caller assigns ids densely
+    /// in submission order, so `session.id` must equal
+    /// `retired_count() + live().len()`.
+    pub fn push(&mut self, session: Session) {
+        debug_assert_eq!(
+            session.id.0 as usize,
+            self.retired + self.live().len(),
+            "arena ids must stay dense and in submission order"
+        );
+        self.slots.push(session);
+        self.peak_live = self.peak_live.max(self.live().len());
+    }
+
+    /// The live (unretired) sessions in submission order.
+    pub fn live(&self) -> &[Session] {
+        &self.slots[self.head..]
+    }
+
+    /// Mutable view of the live window.
+    pub fn live_mut(&mut self) -> &mut [Session] {
+        &mut self.slots[self.head..]
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.head
+    }
+
+    /// Whether no live session exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sessions ever retired from the front of the window.
+    pub fn retired_count(&self) -> usize {
+        self.retired
+    }
+
+    /// High-water mark of the live-session population.
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Iterates over the live sessions in submission order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Session> {
+        self.live().iter()
+    }
+
+    /// Retires the first `n` live sessions (they must all be finished) and
+    /// compacts the backing vector if the dead prefix got large. Amortized
+    /// O(1) per retired session.
+    ///
+    /// # Panics
+    /// Debug-asserts that every retired session is finished.
+    pub fn retire_prefix(&mut self, n: usize) {
+        debug_assert!(self.live()[..n].iter().all(Session::is_finished));
+        self.head += n;
+        self.retired += n;
+        if self.head > ARENA_COMPACT_FLOOR && self.head >= self.slots.len() - self.head {
+            self.slots.drain(..self.head);
+            self.head = 0;
+        }
+    }
+
+    /// Checks the arena's structural invariants: live ids are dense,
+    /// ascending and never alias a retired id. Test/debug helper.
+    ///
+    /// # Panics
+    /// Panics on any violation.
+    pub fn assert_invariants(&self) {
+        assert!(self.head <= self.slots.len(), "head may not pass the end");
+        for (i, s) in self.live().iter().enumerate() {
+            assert_eq!(s.id.0 as usize, self.retired + i, "live slot {i} aliases the wrong id");
+        }
+    }
+}
+
+impl std::ops::Index<usize> for SessionArena {
+    type Output = Session;
+
+    /// Indexes the live window (position `id - retired_count()`).
+    fn index(&self, i: usize) -> &Session {
+        &self.slots[self.head + i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for SessionArena {
+    fn index_mut(&mut self, i: usize) -> &mut Session {
+        &mut self.slots[self.head + i]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,5 +412,58 @@ mod tests {
     #[should_panic(expected = "output_tokens must be non-zero")]
     fn zero_output_rejected() {
         Request::new(ModelId::Llama2_7b, 1, 0);
+    }
+
+    fn finished_session(id: u64) -> Session {
+        let mut s = Session::new(RequestId(id), Request::new(ModelId::Llama2_7b, 8, 1));
+        s.state = SessionState::Finished;
+        s
+    }
+
+    #[test]
+    fn arena_retires_in_amortized_constant_space() {
+        let mut arena = SessionArena::new();
+        // Push/retire far more sessions than the compaction floor: the
+        // backing vector must stay bounded by the floor, not the total.
+        for id in 0..10_000u64 {
+            arena.push(finished_session(id));
+            if id % 3 == 2 {
+                arena.retire_prefix(3);
+            }
+            arena.assert_invariants();
+        }
+        arena.retire_prefix(arena.len());
+        assert_eq!(arena.retired_count(), 10_000);
+        assert_eq!(arena.len(), 0);
+        assert!(arena.is_empty());
+        // Peak live population: at most the 3-session retirement cadence.
+        assert!(arena.peak_live() <= 3, "peak {}", arena.peak_live());
+    }
+
+    #[test]
+    fn arena_indexes_the_live_window() {
+        let mut arena = SessionArena::new();
+        for id in 0..6u64 {
+            arena.push(finished_session(id));
+        }
+        arena.retire_prefix(2);
+        assert_eq!(arena.len(), 4);
+        assert_eq!(arena[0].id, RequestId(2), "index 0 is the oldest live session");
+        assert_eq!(arena.live().len(), 4);
+        assert_eq!(arena.iter().count(), 4);
+        arena[1].generated_tokens = 7;
+        assert_eq!(arena.live()[1].generated_tokens, 7);
+        assert_eq!(arena.live_mut().len(), 4);
+        arena.assert_invariants();
+        assert_eq!(arena.peak_live(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "aliases the wrong id")]
+    fn arena_invariant_check_catches_aliased_slots() {
+        let mut arena = SessionArena::new();
+        arena.push(finished_session(0));
+        arena[0].id = RequestId(9); // corrupt the slot
+        arena.assert_invariants();
     }
 }

@@ -81,7 +81,7 @@
 
 use crate::kv::{pages_for, AdmissionError, KvConfig, KvPool, PreemptionMode, SloConfig, KV_BITS};
 use crate::placement::PoolRole;
-use crate::request::{Request, RequestId, Session, SessionState};
+use crate::request::{Request, RequestId, Session, SessionArena, SessionState};
 use mugi_workloads::models::ModelId;
 use mugi_workloads::ops::{BatchSlice, Phase};
 use serde::{Deserialize, Serialize};
@@ -344,13 +344,11 @@ pub struct Scheduler {
     /// Scheduling role of each pool (parallel to `pools`): all
     /// [`PoolRole::Colocated`] except under disaggregated placement.
     pool_roles: Vec<PoolRole>,
-    /// Sessions not yet retired, in submission order; session `id` lives at
-    /// index `id - session_base`.
-    sessions: Vec<Session>,
-    /// Ids below this have been retired via
-    /// [`Scheduler::retire_finished_prefix`] (always zero unless the
-    /// executor opts into incremental retirement).
-    session_base: usize,
+    /// Sessions not yet retired, in a flat arena keyed by dense ids: session
+    /// `id` lives at live index `id - sessions.retired_count()`. Retirement
+    /// (always zero retired unless the executor opts in) advances the
+    /// arena's head in amortized O(1) instead of shifting a vector.
+    sessions: SessionArena,
     /// Per-model queues of released unfinished sessions, in first-submission
     /// order of their models.
     queues: Vec<ModelQueue>,
@@ -427,8 +425,7 @@ impl Scheduler {
             kv,
             pools,
             pool_roles,
-            sessions: Vec::new(),
-            session_base: 0,
+            sessions: SessionArena::new(),
             queues: Vec::new(),
             future: VecDeque::new(),
             in_flight: HashSet::new(),
@@ -451,7 +448,7 @@ impl Scheduler {
     /// Panics if the session was retired (or `id` was never issued).
     fn sidx(&self, id: RequestId) -> usize {
         (id.0 as usize)
-            .checked_sub(self.session_base)
+            .checked_sub(self.sessions.retired_count())
             .expect("session was retired from the scheduler")
     }
 
@@ -536,7 +533,7 @@ impl Scheduler {
     /// counted in the runtime report.
     pub fn try_submit(&mut self, request: Request) -> Result<RequestId, AdmissionError> {
         if let Some(bound) = self.kv.max_live_sessions {
-            let live = self.session_base + self.sessions.len() - self.retired;
+            let live = self.sessions.retired_count() + self.sessions.len() - self.retired;
             if live >= bound {
                 self.rejected += 1;
                 return Err(AdmissionError::QueueFull { live, bound });
@@ -577,7 +574,7 @@ impl Scheduler {
                 });
             }
         }
-        let id = RequestId((self.session_base + self.sessions.len()) as u64);
+        let id = RequestId((self.sessions.retired_count() + self.sessions.len()) as u64);
         self.sessions.push(Session::new(id, request));
         let arrival = request.arrival_cycle;
         if self.future.back().is_none_or(|&(a, _)| a <= arrival) {
@@ -592,18 +589,25 @@ impl Scheduler {
     /// All unretired sessions in submission order (every session ever
     /// submitted, unless the executor opted into incremental retirement).
     pub fn sessions(&self) -> &[Session] {
-        &self.sessions
+        self.sessions.live()
     }
 
     /// Number of ids retired from the front of the session window (zero
     /// without incremental retirement).
     pub fn retired_session_count(&self) -> usize {
-        self.session_base
+        self.sessions.retired_count()
     }
 
     /// Total sessions ever submitted (retired or not).
     pub fn submitted_count(&self) -> usize {
-        self.session_base + self.sessions.len()
+        self.sessions.retired_count() + self.sessions.len()
+    }
+
+    /// High-water mark of the live (unretired) session population. Under
+    /// incremental retirement this is what the scheduler's memory scales
+    /// with, however long the request stream.
+    pub fn peak_live_sessions(&self) -> usize {
+        self.sessions.peak_live()
     }
 
     /// Looks up one session.
@@ -622,15 +626,14 @@ impl Scheduler {
     pub fn retire_finished_prefix(&mut self) -> usize {
         let n = self.sessions.iter().take_while(|s| s.is_finished()).count();
         if n > 0 {
-            self.sessions.drain(..n);
-            self.session_base += n;
+            self.sessions.retire_prefix(n);
         }
         n
     }
 
     /// Whether every submitted session has finished.
     pub fn all_finished(&self) -> bool {
-        self.retired == self.session_base + self.sessions.len()
+        self.retired == self.sessions.retired_count() + self.sessions.len()
     }
 
     /// Number of finished sessions.

@@ -244,6 +244,180 @@ impl fmt::Display for RuntimeReport {
     }
 }
 
+/// Incrementally folded per-request statistics: the O(1)-memory counterpart
+/// of [`RuntimeReport::requests`]. The event engine folds each session's
+/// [`RequestStats`] in here the moment it retires, so serving a million
+/// requests costs the memory of the fold, not of a million stat records.
+///
+/// Floating-point sums accumulate in retirement (= id) order — the same
+/// order a full report would sum them in — so a folded total and a
+/// report-derived total agree bit for bit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsFold {
+    /// Requests folded so far.
+    pub requests: u64,
+    /// Total prompt tokens.
+    pub prompt_tokens: u64,
+    /// Total generated tokens.
+    pub output_tokens: u64,
+    /// Total micro-batch participations.
+    pub micro_batches: u64,
+    /// Summed compute energy in µJ.
+    pub energy_uj: f64,
+    /// Summed NoC transfer energy in µJ.
+    pub noc_energy_uj: f64,
+    /// Summed KV bytes moved over the NoC.
+    pub kv_transfer_bytes: u64,
+    /// Summed KV-transfer energy in µJ.
+    pub kv_transfer_energy_uj: f64,
+    /// Summed time-to-first-token in seconds (divide by `requests` for the
+    /// mean; percentiles need the full population and are deliberately not
+    /// offered here).
+    pub ttft_sum_s: f64,
+    /// Summed end-to-end latency in seconds.
+    pub e2e_sum_s: f64,
+    /// Worst time-to-first-token seen.
+    pub max_ttft_s: f64,
+    /// Order-sensitive FNV-1a checksum over each folded request's identity
+    /// `(id, prompt_tokens, output_tokens)`. Independently computable from
+    /// the request stream alone ([`StatsFold::identity_checksum_of`]), so a
+    /// soak run can prove every generated request retired exactly once,
+    /// intact and in order, without storing any of them.
+    pub identity_checksum: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(mut hash: u64, word: u64) -> u64 {
+    for byte in word.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+impl StatsFold {
+    /// Folds one retired request in. Must be called in id order for the
+    /// floating-point sums and the checksum to be reproducible.
+    pub fn add(&mut self, s: &RequestStats) {
+        self.requests += 1;
+        self.prompt_tokens += s.prompt_tokens as u64;
+        self.output_tokens += s.output_tokens as u64;
+        self.micro_batches += s.micro_batches;
+        self.energy_uj += s.energy_uj;
+        self.noc_energy_uj += s.noc_energy_uj;
+        self.kv_transfer_bytes += s.kv_transfer_bytes;
+        self.kv_transfer_energy_uj += s.kv_transfer_energy_uj;
+        self.ttft_sum_s += s.ttft_s;
+        self.e2e_sum_s += s.e2e_s;
+        self.max_ttft_s = self.max_ttft_s.max(s.ttft_s);
+        self.identity_checksum =
+            Self::fold_identity(self.identity_checksum, s.id.0, s.prompt_tokens, s.output_tokens);
+    }
+
+    /// Folds one request identity into a running checksum (zero seeds a
+    /// fresh chain with the FNV offset basis).
+    pub fn fold_identity(
+        checksum: u64,
+        id: u64,
+        prompt_tokens: usize,
+        output_tokens: usize,
+    ) -> u64 {
+        let hash = if checksum == 0 { FNV_OFFSET } else { checksum };
+        let hash = fnv_fold(hash, id);
+        let hash = fnv_fold(hash, prompt_tokens as u64);
+        fnv_fold(hash, output_tokens as u64)
+    }
+
+    /// The identity checksum a run over `requests` (in submission order,
+    /// ids assigned densely from `first_id`) must end with.
+    pub fn identity_checksum_of<'a, I>(first_id: u64, requests: I) -> u64
+    where
+        I: IntoIterator<Item = &'a crate::request::Request>,
+    {
+        let mut checksum = 0;
+        for (i, r) in requests.into_iter().enumerate() {
+            checksum = Self::fold_identity(
+                checksum,
+                first_id + i as u64,
+                r.prompt_tokens,
+                r.output_tokens,
+            );
+        }
+        checksum
+    }
+
+    /// Folds a full report's per-request statistics (in their stored order)
+    /// — what an incremental run must reproduce exactly.
+    pub fn of_report(report: &RuntimeReport) -> Self {
+        let mut fold = StatsFold::default();
+        for r in &report.requests {
+            fold.add(r);
+        }
+        fold
+    }
+}
+
+/// The aggregate outcome of a million-request-scale serving run: everything
+/// [`RuntimeReport`] carries except the per-request population (and with it
+/// the percentiles), so the report itself is O(1) however long the stream.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScaleReport {
+    /// Folded per-request statistics.
+    pub fold: StatsFold,
+    /// Simulated wall-clock of the whole run in seconds.
+    pub makespan_s: f64,
+    /// Output tokens per second of makespan.
+    pub throughput_tokens_per_s: f64,
+    /// Micro-batches executed.
+    pub micro_batches: u64,
+    /// Accelerator nodes the run executed on.
+    pub nodes: usize,
+    /// High-water mark of the live (unretired) session population — what
+    /// the engine's memory scales with.
+    pub peak_live_sessions: usize,
+    /// High-water mark of the event queue (in-flight completions plus the
+    /// one staged arrival).
+    pub peak_event_queue: usize,
+    /// Paged KV-cache statistics.
+    pub kv: KvStats,
+}
+
+impl fmt::Display for ScaleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} requests, {} tokens in {:.1} s simulated — {:.2} tokens/s over {} micro-batches \
+             on {} node(s)",
+            self.fold.requests,
+            self.fold.output_tokens,
+            self.makespan_s,
+            self.throughput_tokens_per_s,
+            self.micro_batches,
+            self.nodes,
+        )?;
+        write!(
+            f,
+            "mean TTFT {:.4} s (max {:.4}), mean E2E {:.4} s, peak {} live sessions, peak {} \
+             queued events",
+            if self.fold.requests > 0 {
+                self.fold.ttft_sum_s / self.fold.requests as f64
+            } else {
+                0.0
+            },
+            self.fold.max_ttft_s,
+            if self.fold.requests > 0 {
+                self.fold.e2e_sum_s / self.fold.requests as f64
+            } else {
+                0.0
+            },
+            self.peak_live_sessions,
+            self.peak_event_queue,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,5 +487,87 @@ mod tests {
         assert!(text.contains("2 rejected"));
         assert_eq!(pressured.kv.peak_occupancy(), Some(0.75));
         assert_eq!(KvStats::default().peak_occupancy(), None);
+    }
+
+    fn stat(id: u64, prompt: usize, output: usize) -> RequestStats {
+        RequestStats {
+            id: RequestId(id),
+            model: ModelId::Llama2_7b,
+            prompt_tokens: prompt,
+            output_tokens: output,
+            ttft_s: 0.001 * (id + 1) as f64,
+            tpot_s: 0.0001,
+            e2e_s: 0.01 * (id + 1) as f64,
+            tokens_per_s: 100.0,
+            energy_uj: 1.5,
+            noc_energy_uj: 0.25,
+            kv_transfer_bytes: 64,
+            kv_transfer_energy_uj: 0.125,
+            micro_batches: 3,
+        }
+    }
+
+    #[test]
+    fn stats_fold_accumulates_and_checksums_in_order() {
+        let stats: Vec<RequestStats> = (0..5).map(|i| stat(i, 100 + i as usize, 10)).collect();
+        let mut fold = StatsFold::default();
+        for s in &stats {
+            fold.add(s);
+        }
+        assert_eq!(fold.requests, 5);
+        assert_eq!(fold.prompt_tokens, 100 + 101 + 102 + 103 + 104);
+        assert_eq!(fold.output_tokens, 50);
+        assert_eq!(fold.micro_batches, 15);
+        assert_eq!(fold.kv_transfer_bytes, 320);
+        assert_eq!(fold.max_ttft_s, 0.005);
+        // The identity checksum is order-sensitive and matches the
+        // stream-side computation.
+        let requests: Vec<crate::request::Request> = stats
+            .iter()
+            .map(|s| crate::request::Request::new(s.model, s.prompt_tokens, s.output_tokens))
+            .collect();
+        assert_eq!(fold.identity_checksum, StatsFold::identity_checksum_of(0, &requests));
+        let mut reversed = StatsFold::default();
+        for s in stats.iter().rev() {
+            reversed.add(s);
+        }
+        assert_ne!(reversed.identity_checksum, fold.identity_checksum);
+        // Folding a report's request population reproduces the same fold.
+        let report = RuntimeReport {
+            requests: stats,
+            makespan_s: 1.0,
+            total_output_tokens: 50,
+            throughput_tokens_per_s: 50.0,
+            micro_batches: 15,
+            ttft: Percentiles::default(),
+            tpot: Percentiles::default(),
+            trace_cache_entries: 0,
+            nodes: 1,
+            noc: "1x1".to_string(),
+            noc_energy_uj: 1.25,
+            node_busy_cycles: vec![0],
+            kv: KvStats::default(),
+        };
+        assert_eq!(StatsFold::of_report(&report), fold);
+    }
+
+    #[test]
+    fn scale_report_displays_totals() {
+        let mut fold = StatsFold::default();
+        fold.add(&stat(0, 128, 16));
+        let report = ScaleReport {
+            fold,
+            makespan_s: 2.0,
+            throughput_tokens_per_s: 8.0,
+            micro_batches: 3,
+            nodes: 4,
+            peak_live_sessions: 1,
+            peak_event_queue: 2,
+            kv: KvStats::default(),
+        };
+        let text = report.to_string();
+        assert!(text.contains("1 requests"));
+        assert!(text.contains("16 tokens"));
+        assert!(text.contains("peak 1 live sessions"));
     }
 }

@@ -1,11 +1,39 @@
 //! Deterministic synthetic serving workloads for examples, benchmarks and
 //! tests: a seeded stream of requests with varied prompt/output lengths,
 //! optionally staggered arrivals, spread round-robin across models.
+//!
+//! Two front-ends share one generator: [`synthetic_requests`] materializes a
+//! trace up front (the classic path every golden test pins), while
+//! [`WorkloadStream`] yields the *same* seeded sequence lazily, so an
+//! event-driven engine can serve millions of requests without ever holding
+//! the full trace in memory. Both draw from the RNG in the same per-request
+//! order, so a fixed seed produces bit-identical requests either way.
 
 use crate::request::Request;
 use mugi_workloads::models::ModelId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// How request arrival times are generated.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ArrivalModel {
+    /// Arrivals are drawn uniformly over `[0, arrival_spread_cycles]` (zero
+    /// means a single burst at cycle zero). Closed-horizon and *unsorted*:
+    /// request `i+1` may arrive before request `i`, so this model suits
+    /// materialized traces, not lazy streaming.
+    #[default]
+    Spread,
+    /// Open-loop Poisson arrivals: inter-arrival gaps are exponentially
+    /// distributed with the given mean, so arrivals are nondecreasing and
+    /// the stream has no horizon — the load level is `1 / mean_gap_cycles`
+    /// requests per cycle regardless of how fast the server drains. This is
+    /// the long-horizon model the streaming engine serves;
+    /// `arrival_spread_cycles` is ignored under it.
+    Poisson {
+        /// Mean inter-arrival gap in cycles (the inverse arrival rate).
+        mean_gap_cycles: u64,
+    },
+}
 
 /// Prompt/output length and arrival ranges of a synthetic workload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -14,15 +42,23 @@ pub struct WorkloadSpec {
     pub prompt_tokens: (usize, usize),
     /// Inclusive output-length range in tokens.
     pub output_tokens: (usize, usize),
-    /// Arrivals are spread uniformly over `[0, arrival_spread_cycles]`
-    /// (zero means a single burst at cycle zero).
+    /// Horizon of the [`ArrivalModel::Spread`] uniform arrival draw (zero
+    /// means a single burst at cycle zero). Ignored under
+    /// [`ArrivalModel::Poisson`].
     pub arrival_spread_cycles: u64,
+    /// Arrival-time model.
+    pub arrival: ArrivalModel,
 }
 
 impl Default for WorkloadSpec {
     /// Prompts of 32–512 tokens, outputs of 4–48 tokens, one burst.
     fn default() -> Self {
-        WorkloadSpec { prompt_tokens: (32, 512), output_tokens: (4, 48), arrival_spread_cycles: 0 }
+        WorkloadSpec {
+            prompt_tokens: (32, 512),
+            output_tokens: (4, 48),
+            arrival_spread_cycles: 0,
+            arrival: ArrivalModel::Spread,
+        }
     }
 }
 
@@ -34,7 +70,11 @@ impl WorkloadSpec {
     /// [`KvPool`](crate::kv::KvPool) preempts. Used by the `kv_pressure`
     /// integration test and the `kv_sweep` bench.
     pub fn kv_pressure() -> Self {
-        WorkloadSpec { prompt_tokens: (64, 256), output_tokens: (48, 96), arrival_spread_cycles: 0 }
+        WorkloadSpec {
+            prompt_tokens: (64, 256),
+            output_tokens: (48, 96),
+            ..WorkloadSpec::default()
+        }
     }
 
     /// A mixed long-prefill workload: long prompts (768–2048 tokens) with
@@ -48,13 +88,110 @@ impl WorkloadSpec {
             prompt_tokens: (768, 2048),
             output_tokens: (32, 64),
             arrival_spread_cycles: spread,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    /// Switches the spec to open-loop Poisson arrivals with the given mean
+    /// inter-arrival gap.
+    ///
+    /// # Panics
+    /// Panics if `mean_gap_cycles` is zero (an infinite arrival rate).
+    pub fn with_poisson_arrivals(mut self, mean_gap_cycles: u64) -> Self {
+        assert!(mean_gap_cycles > 0, "mean_gap_cycles must be non-zero");
+        self.arrival = ArrivalModel::Poisson { mean_gap_cycles };
+        self
+    }
+}
+
+/// A lazy, seeded request generator: yields the exact sequence
+/// [`synthetic_requests`] would materialize for the same arguments, one
+/// request at a time, in O(1) memory. Unbounded — callers `take(n)` or stop
+/// consuming; the event engine feeds it straight into its arrival events.
+#[derive(Clone, Debug)]
+pub struct WorkloadStream {
+    rng: SmallRng,
+    models: Vec<ModelId>,
+    spec: WorkloadSpec,
+    /// Requests generated so far (drives the model round-robin).
+    index: usize,
+    /// Accumulated arrival clock under [`ArrivalModel::Poisson`].
+    clock_cycles: u64,
+}
+
+impl WorkloadStream {
+    /// Creates the stream. Same seed, models and spec as a
+    /// [`synthetic_requests`] call — same requests.
+    ///
+    /// # Panics
+    /// Panics if `models` is empty or a range is inverted.
+    pub fn new(seed: u64, models: &[ModelId], spec: WorkloadSpec) -> Self {
+        assert!(!models.is_empty(), "models must be non-empty");
+        let (pmin, pmax) = spec.prompt_tokens;
+        let (omin, omax) = spec.output_tokens;
+        assert!(pmin >= 1 && pmin <= pmax, "invalid prompt range");
+        assert!(omin >= 1 && omin <= omax, "invalid output range");
+        WorkloadStream {
+            rng: SmallRng::seed_from_u64(seed),
+            models: models.to_vec(),
+            spec,
+            index: 0,
+            clock_cycles: 0,
+        }
+    }
+
+    /// Whether this stream's arrival sequence is nondecreasing (what lazy,
+    /// event-driven consumption requires). True for Poisson arrivals and
+    /// for a zero-horizon burst; false for a nonzero uniform spread.
+    pub fn arrivals_sorted(&self) -> bool {
+        match self.spec.arrival {
+            ArrivalModel::Poisson { .. } => true,
+            ArrivalModel::Spread => self.spec.arrival_spread_cycles == 0,
         }
     }
 }
 
+impl Iterator for WorkloadStream {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        let (pmin, pmax) = self.spec.prompt_tokens;
+        let (omin, omax) = self.spec.output_tokens;
+        let model = self.models[self.index % self.models.len()];
+        self.index += 1;
+        // Draw order is part of the golden contract: prompt, output, then
+        // (only when the model calls for one) a single arrival draw.
+        let prompt = self.rng.gen_range(pmin..=pmax);
+        let output = self.rng.gen_range(omin..=omax);
+        let arrival = match self.spec.arrival {
+            ArrivalModel::Spread => {
+                if self.spec.arrival_spread_cycles == 0 {
+                    0
+                } else {
+                    self.rng.gen_range(0..=self.spec.arrival_spread_cycles)
+                }
+            }
+            ArrivalModel::Poisson { mean_gap_cycles } => {
+                self.clock_cycles += exponential_gap(&mut self.rng, mean_gap_cycles);
+                self.clock_cycles
+            }
+        };
+        Some(Request::new(model, prompt, output).arriving_at(arrival))
+    }
+}
+
+/// One exponentially distributed inter-arrival gap with the given mean, by
+/// inversion sampling: `-ln(1 - u) * mean` for uniform `u ∈ [0, 1)`,
+/// rounded to whole cycles. `1 - u` never hits zero, so the gap is finite.
+fn exponential_gap(rng: &mut SmallRng, mean_gap_cycles: u64) -> u64 {
+    let u: f64 = rng.gen();
+    (-(1.0 - u).ln() * mean_gap_cycles as f64).round() as u64
+}
+
 /// Generates `count` deterministic requests round-robined across `models`
 /// with lengths drawn from `spec` (seeded `SmallRng`, like the experiment
-/// drivers).
+/// drivers). Materializes the same sequence a [`WorkloadStream`] with the
+/// same arguments yields lazily.
 ///
 /// # Panics
 /// Panics if `models` is empty or a range is inverted.
@@ -64,25 +201,7 @@ pub fn synthetic_requests(
     models: &[ModelId],
     spec: WorkloadSpec,
 ) -> Vec<Request> {
-    assert!(!models.is_empty(), "models must be non-empty");
-    let (pmin, pmax) = spec.prompt_tokens;
-    let (omin, omax) = spec.output_tokens;
-    assert!(pmin >= 1 && pmin <= pmax, "invalid prompt range");
-    assert!(omin >= 1 && omin <= omax, "invalid output range");
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..count)
-        .map(|i| {
-            let model = models[i % models.len()];
-            let prompt = rng.gen_range(pmin..=pmax);
-            let output = rng.gen_range(omin..=omax);
-            let arrival = if spec.arrival_spread_cycles == 0 {
-                0
-            } else {
-                rng.gen_range(0..=spec.arrival_spread_cycles)
-            };
-            Request::new(model, prompt, output).arriving_at(arrival)
-        })
-        .collect()
+    WorkloadStream::new(seed, models, spec).take(count).collect()
 }
 
 #[cfg(test)]
@@ -131,4 +250,61 @@ mod tests {
             assert_eq!(r.arrival_cycle, 0, "pressure comes as one burst");
         }
     }
+
+    #[test]
+    fn stream_yields_the_materialized_sequence() {
+        // The lazy generator and the materialized path must agree request
+        // for request, under every arrival model, so goldens captured
+        // against one front-end stay valid for the other.
+        let models = [ModelId::Llama2_7b, ModelId::Llama2_13b];
+        for spec in [
+            WorkloadSpec::default(),
+            WorkloadSpec { arrival_spread_cycles: 5_000_000, ..WorkloadSpec::default() },
+            WorkloadSpec::kv_pressure().with_poisson_arrivals(250_000),
+        ] {
+            let materialized = synthetic_requests(99, 256, &models, spec);
+            let streamed: Vec<Request> = WorkloadStream::new(99, &models, spec).take(256).collect();
+            assert_eq!(materialized, streamed, "front-ends diverged for {spec:?}");
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_are_sorted_open_loop_and_rate_controlled() {
+        let mean = 1_000_000u64;
+        let spec = WorkloadSpec::default().with_poisson_arrivals(mean);
+        let stream = WorkloadStream::new(5, &[ModelId::Llama2_7b], spec);
+        assert!(stream.arrivals_sorted());
+        let reqs: Vec<Request> = stream.take(4096).collect();
+        assert!(reqs.windows(2).all(|w| w[0].arrival_cycle <= w[1].arrival_cycle));
+        // The empirical mean gap converges on the configured mean (±10%).
+        let span = reqs.last().unwrap().arrival_cycle as f64;
+        let empirical = span / reqs.len() as f64;
+        let ratio = empirical / mean as f64;
+        assert!((0.9..=1.1).contains(&ratio), "empirical/mean gap ratio {ratio}");
+        // Unsorted spread streams say so.
+        let spread = WorkloadSpec { arrival_spread_cycles: 100, ..WorkloadSpec::default() };
+        assert!(!WorkloadStream::new(5, &[ModelId::Llama2_7b], spread).arrivals_sorted());
+        assert!(WorkloadStream::new(5, &[ModelId::Llama2_7b], WorkloadSpec::default())
+            .arrivals_sorted());
+    }
+
+    #[test]
+    fn poisson_inter_arrival_sequence_is_pinned() {
+        // The seeded gap sequence is part of the deterministic contract:
+        // these values were captured from this generator and must never
+        // drift (they anchor the streaming goldens).
+        let spec = WorkloadSpec::default().with_poisson_arrivals(10_000);
+        let reqs: Vec<Request> =
+            WorkloadStream::new(1234, &[ModelId::Llama2_7b], spec).take(8).collect();
+        let arrivals: Vec<u64> = reqs.iter().map(|r| r.arrival_cycle).collect();
+        let gaps: Vec<u64> =
+            std::iter::once(arrivals[0]).chain(arrivals.windows(2).map(|w| w[1] - w[0])).collect();
+        assert_eq!(arrivals, PINNED_ARRIVALS, "gaps drifted: {gaps:?}");
+    }
+
+    /// Captured from `WorkloadStream::new(1234, &[Llama2_7b],
+    /// default().with_poisson_arrivals(10_000))` — see
+    /// `poisson_inter_arrival_sequence_is_pinned`.
+    const PINNED_ARRIVALS: [u64; 8] =
+        [11_741, 34_137, 42_788, 45_374, 50_108, 82_450, 97_993, 98_419];
 }

@@ -1,0 +1,450 @@
+//! Event-engine equivalence suite: golden bit-identity tests captured from
+//! the pre-refactor per-step runtime (commit e0e057f), a streaming-workload
+//! determinism test, and the 1M-request soak proving memory stays bounded.
+//!
+//! The golden fingerprints below were captured by running the per-step
+//! `Executor` at commit e0e057f on the exact scenarios in this file: every
+//! float is pinned via `to_bits`, so any perturbation — however small —
+//! fails. The event engine must reproduce each one exactly (FP-sum order
+//! preserved), which proves the discrete-event reorganization changes *how*
+//! the simulation is driven, never *what* it computes.
+
+use mugi::arch::noc::NocConfig;
+use mugi::MugiAccelerator;
+use mugi_runtime::{
+    pages_for, synthetic_requests, EventEngine, Executor, ExecutorConfig, KvConfig, Placement,
+    Request, RuntimeReport, Scheduler, SchedulerConfig, StatsFold, WorkloadSpec, WorkloadStream,
+};
+use mugi_workloads::models::ModelId;
+
+const MODEL: ModelId = ModelId::Llama2_7b;
+
+/// Collapses a report to the bit patterns the golden tests pin: every float
+/// is compared via `to_bits`, so any perturbation — however small — fails.
+fn fingerprint(report: &RuntimeReport) -> Vec<u64> {
+    let energy_sum: f64 = report.requests.iter().map(|r| r.energy_uj).sum();
+    let noc_sum: f64 = report.requests.iter().map(|r| r.noc_energy_uj).sum();
+    let ttft_sum: f64 = report.requests.iter().map(|r| r.ttft_s).sum();
+    let kv_energy_sum: f64 = report.requests.iter().map(|r| r.kv_transfer_energy_uj).sum();
+    vec![
+        report.requests.len() as u64,
+        report.makespan_s.to_bits(),
+        report.throughput_tokens_per_s.to_bits(),
+        report.ttft.p50.to_bits(),
+        report.ttft.p95.to_bits(),
+        report.ttft.p99.to_bits(),
+        report.tpot.p50.to_bits(),
+        report.tpot.p95.to_bits(),
+        report.tpot.p99.to_bits(),
+        energy_sum.to_bits(),
+        noc_sum.to_bits(),
+        ttft_sum.to_bits(),
+        kv_energy_sum.to_bits(),
+        report.noc_energy_uj.to_bits(),
+        report.micro_batches,
+        report.total_output_tokens,
+        report.kv.peak_used_pages,
+        report.kv.preemptions,
+        report.kv.reprefill_tokens,
+        report.kv.evicted_pages,
+        report.kv.fault_stall_cycles,
+        report.kv.migrations,
+        report.kv.migrated_pages,
+        report.kv.swap_outs,
+        report.kv.swapped_pages,
+        report.kv.transfer_bytes,
+        report.kv.transfer_energy_uj.to_bits(),
+        report.kv.transfer_stall_cycles as u64,
+    ]
+}
+
+/// One golden scenario: a workload plus the full engine configuration, so
+/// the per-step oracle and the event engine can both be built from it.
+struct Scenario {
+    name: &'static str,
+    requests: Vec<Request>,
+    scheduler: SchedulerConfig,
+    kv: KvConfig,
+    executor: ExecutorConfig,
+    placement: Placement,
+}
+
+/// The four golden scenarios, one per placement policy family. Each is
+/// deliberately overloaded enough that its policy's machinery genuinely
+/// binds (decode rotation, preemption, tiling, migration + swap).
+fn scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // A: single node, unbounded pool, 24 one-model requests so the decode
+    // population (24) exceeds max_batch (16) and decode rotation binds.
+    out.push(Scenario {
+        name: "single-node",
+        requests: synthetic_requests(21, 24, &[MODEL], WorkloadSpec::kv_pressure()),
+        scheduler: SchedulerConfig::default(),
+        kv: KvConfig::unbounded(),
+        executor: ExecutorConfig::default(),
+        placement: Placement::single_node(),
+    });
+
+    // B: data-parallel 2x2 with bounded per-node pools under real
+    // preemption pressure, two models.
+    let page_tokens = 32;
+    let models = [ModelId::Llama2_7b, ModelId::Llama2_13b];
+    let requests = synthetic_requests(7, 20, &models, WorkloadSpec::kv_pressure());
+    let max_need = requests
+        .iter()
+        .map(|r| pages_for(r.prompt_tokens + r.output_tokens, page_tokens))
+        .max()
+        .unwrap();
+    out.push(Scenario {
+        name: "dp-bounded-kv",
+        requests,
+        scheduler: SchedulerConfig::default(),
+        kv: KvConfig::bounded(page_tokens, max_need + 2),
+        executor: ExecutorConfig { kv_bucket: page_tokens, ..ExecutorConfig::default() },
+        placement: Placement::data_parallel(NocConfig { rows: 2, cols: 2 }),
+    });
+
+    // C: sharded 2x2, unbounded, staggered arrivals.
+    out.push(Scenario {
+        name: "sharded",
+        requests: synthetic_requests(
+            3,
+            16,
+            &models,
+            WorkloadSpec { arrival_spread_cycles: 30_000_000, ..WorkloadSpec::default() },
+        ),
+        scheduler: SchedulerConfig::default(),
+        kv: KvConfig::unbounded(),
+        executor: ExecutorConfig::default(),
+        placement: Placement::sharded(NocConfig { rows: 2, cols: 2 }),
+    });
+
+    // D: disaggregated 2p2d on a 2x2 mesh, bounded pools, swap-style
+    // preemption — migrations, swap-outs and swap-ins all exercised.
+    let requests = synthetic_requests(11, 16, &[MODEL], WorkloadSpec::kv_pressure());
+    let max_need = requests
+        .iter()
+        .map(|r| pages_for(r.prompt_tokens + r.output_tokens, page_tokens))
+        .max()
+        .unwrap();
+    out.push(Scenario {
+        name: "disagg-swap",
+        requests,
+        scheduler: SchedulerConfig::default(),
+        kv: KvConfig::bounded(page_tokens, max_need + 1).with_swap_preemption(),
+        executor: ExecutorConfig { kv_bucket: page_tokens, ..ExecutorConfig::default() },
+        placement: Placement::disaggregated(NocConfig { rows: 2, cols: 2 }, 2),
+    });
+
+    out
+}
+
+/// Runs one scenario on the per-step executor.
+fn run_per_step(s: &Scenario) -> RuntimeReport {
+    let mut ex = Executor::with_placement(
+        MugiAccelerator::new(64),
+        Scheduler::with_kv(s.scheduler, s.kv),
+        s.executor,
+        s.placement,
+    );
+    for r in &s.requests {
+        ex.submit(*r);
+    }
+    ex.run()
+}
+
+/// Golden fingerprints captured from the per-step executor at commit
+/// e0e057f, in `scenarios()` order.
+fn golden(name: &str) -> Vec<u64> {
+    match name {
+        "single-node" => vec![
+            0x0000000000000018,
+            0x409aa32e019b0ab3,
+            0x3ff00a1a6ece3a00,
+            0x40805771ebaab372,
+            0x409546d8dfaa9ffc,
+            0x40962f40748f4909,
+            0x402422a8ef9bdb24,
+            0x4027c1481a5955eb,
+            0x4027d24d39ba03be,
+            0x41846d170ce08724,
+            0x0000000000000000,
+            0x40d1955e1e15bfb0,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000095,
+            0x00000000000006ad,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+        ],
+        "dp-bounded-kv" => vec![
+            0x0000000000000014,
+            0x409bb4c9fe7109ad,
+            0x3feb400dd8ffa8f1,
+            0x407d9fdfb029530b,
+            0x409293f292af19b4,
+            0x40932dcb38c34006,
+            0x401935957d0c4bac,
+            0x40231328267217eb,
+            0x402727530d406f2b,
+            0x41a4b2640bc58018,
+            0x40636303db56d349,
+            0x40c543a4f6b62a4a,
+            0x0000000000000000,
+            0x40636303db56d348,
+            0x000000000000048e,
+            0x00000000000005e6,
+            0x0000000000000034,
+            0x000000000000000e,
+            0x00000000000008bc,
+            0x000000000000004c,
+            0x0000000000004c00,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+        ],
+        "sharded" => vec![
+            0x0000000000000010,
+            0x40817918445ea9af,
+            0x3fe5762ec5028bcb,
+            0x40703f5cc84e8dd8,
+            0x4078c66c9b621ba9,
+            0x407a286edcb29df7,
+            0x401e5841b7ccfd10,
+            0x4045606f11c21f4a,
+            0x404757f3b6c7ac8f,
+            0x41888eb9b9cc285f,
+            0x40d781923bd746a1,
+            0x40b32b6a2891fa3e,
+            0x0000000000000000,
+            0x40d781923bd746a2,
+            0x000000000000005a,
+            0x0000000000000177,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+            0x0000000000000000,
+        ],
+        "disagg-swap" => vec![
+            0x0000000000000010,
+            0x40937bb0fb2bafdc,
+            0x3fee8a07a7ebec33,
+            0x407f7cf9d5e3f7b7,
+            0x40867b61b7af0363,
+            0x40867b61b7af0363,
+            0x40139838ba477366,
+            0x401c8fe5329c8a65,
+            0x401d5777f264f847,
+            0x419308f76b77a1a7,
+            0x405331a08bfc2216,
+            0x40b6ed9f721ce86e,
+            0x40a8fbe4e84c8514,
+            0x405331a08bfc2218,
+            0x0000000000000386,
+            0x00000000000004a6,
+            0x000000000000002c,
+            0x0000000000000003,
+            0x00000000000001db,
+            0x0000000000000010,
+            0x0000000000001000,
+            0x000000000000001b,
+            0x0000000000000087,
+            0x0000000000000008,
+            0x0000000000000027,
+            0x000000009ed80000,
+            0x40a8fbe4e84c8512,
+            0x0000000000d3cafc,
+        ],
+        _ => panic!("no golden recorded for scenario {name}"),
+    }
+}
+
+/// Runs one scenario on the event engine, returning the engine too so
+/// tests can inspect its queue counters after the run.
+fn run_event(s: &Scenario) -> (RuntimeReport, EventEngine) {
+    let mut ev = EventEngine::with_placement(
+        MugiAccelerator::new(64),
+        Scheduler::with_kv(s.scheduler, s.kv),
+        s.executor,
+        s.placement,
+    );
+    for r in &s.requests {
+        ev.submit(*r);
+    }
+    let report = ev.run();
+    (report, ev)
+}
+
+/// The per-step executor must keep matching the digests captured at
+/// e0e057f: the refactor that extracted its core must not perturb it.
+#[test]
+fn per_step_executor_matches_goldens() {
+    for s in scenarios() {
+        let fp = fingerprint(&run_per_step(&s));
+        assert_eq!(fp, golden(s.name), "per-step fingerprint drifted for {}", s.name);
+    }
+}
+
+/// The tentpole claim: the event engine reproduces every golden scenario —
+/// every placement policy, preemption mode and migration path — bit for
+/// bit, floats included.
+#[test]
+fn event_engine_matches_goldens() {
+    for s in scenarios() {
+        let (report, ev) = run_event(&s);
+        assert_eq!(
+            fingerprint(&report),
+            golden(s.name),
+            "event-engine fingerprint drifted for {}",
+            s.name
+        );
+        // Every dispatched batch raised exactly one completion event.
+        assert_eq!(ev.queue().pop_count(), report.micro_batches, "{}", s.name);
+        assert!(ev.queue().is_empty(), "{}", s.name);
+        assert_eq!(ev.queue().arrival_time_regressions(), 0, "{}", s.name);
+    }
+}
+
+/// Beyond the digest: the *entire* reports — every per-request stat, every
+/// float — must be equal between the oracle and the event engine.
+#[test]
+fn event_engine_reports_equal_per_step_reports_exactly() {
+    for s in scenarios() {
+        let per_step = run_per_step(&s);
+        let (event, _) = run_event(&s);
+        assert_eq!(per_step, event, "full-report divergence for {}", s.name);
+    }
+}
+
+/// Completion events must pop in nondecreasing time order wherever the
+/// theory says they do: always on single-pool placements (one shared KV
+/// pool means no cross-clock page liberation), and empirically on the
+/// golden multi-pool scenarios too.
+#[test]
+fn event_queue_completion_pops_are_monotone() {
+    for s in scenarios() {
+        let single_pool = matches!(s.name, "single-node" | "sharded");
+        let (_, ev) = run_event(&s);
+        let regressions = ev.queue().completion_time_regressions();
+        if single_pool {
+            assert_eq!(regressions, 0, "single-pool {} must pop monotonically", s.name);
+        } else {
+            // Multi-pool bounded configs *may* legally regress (a lagging
+            // node can batch in the past with pages freed in the future);
+            // these two goldens happen not to — pin that.
+            assert_eq!(regressions, 0, "{} regressed unexpectedly", s.name);
+        }
+    }
+}
+
+/// Engine-level streaming determinism: serving a sorted (Poisson) workload
+/// lazily from a `WorkloadStream` must produce the exact report of
+/// pre-submitting the materialized trace — on a multi-node placement, with
+/// arrivals landing mid-flight.
+#[test]
+fn streamed_poisson_run_matches_presubmitted() {
+    let spec = WorkloadSpec::kv_pressure().with_poisson_arrivals(3_000_000);
+    let models = [ModelId::Llama2_7b, ModelId::Llama2_13b];
+    let build = || {
+        EventEngine::with_placement(
+            MugiAccelerator::new(64),
+            Scheduler::with_kv(SchedulerConfig::default(), KvConfig::unbounded()),
+            ExecutorConfig::default(),
+            Placement::data_parallel(NocConfig { rows: 2, cols: 2 }),
+        )
+    };
+
+    let trace = synthetic_requests(97, 40, &models, spec);
+    let mut pre = build();
+    for r in &trace {
+        pre.submit(*r);
+    }
+    let presubmitted = pre.run();
+
+    let mut streaming = build();
+    let streamed = streaming.run_stream(WorkloadStream::new(97, &models, spec).take(40));
+
+    assert_eq!(presubmitted, streamed, "lazy submission must not perturb the report");
+    assert_eq!(streaming.queue().arrival_time_regressions(), 0);
+    // 40 arrival events + one completion per micro-batch.
+    assert_eq!(streaming.queue().pop_count(), 40 + streamed.micro_batches);
+}
+
+/// The 1M-request soak (ignored in the default tier; CI runs it with
+/// `--include-ignored`). Proves the two scale claims end to end:
+///
+/// * **Memory stays O(live sessions):** the peak live-session count is
+///   bounded by the arrival/service equilibrium (thousands), not by the
+///   million-request horizon, and the event queue never holds more than
+///   one event per node plus the staged arrival.
+/// * **Nothing is lost or reordered:** the fold's order-sensitive identity
+///   checksum over every retired request matches the checksum computed
+///   independently from a second pass of the same seeded stream.
+#[test]
+#[ignore = "1M-request soak; run with --include-ignored"]
+fn soak_one_million_requests_in_bounded_memory() {
+    const COUNT: usize = 1_000_000;
+    let spec =
+        WorkloadSpec { prompt_tokens: (8, 24), output_tokens: (1, 4), ..WorkloadSpec::default() }
+            // ~0.6x the batched service rate (~1.8e9 cycles/request on the 64-lane
+            // node), so the arrival/service equilibrium settles at a few dozen live
+            // sessions — open-loop load, not an instantaneous burst.
+            .with_poisson_arrivals(3_000_000_000);
+    let models = [MODEL];
+
+    let mut engine =
+        EventEngine::new(MugiAccelerator::new(64), Scheduler::new(SchedulerConfig::default()));
+    let report = engine.run_stream_folded(WorkloadStream::new(4242, &models, spec).take(COUNT));
+
+    assert_eq!(report.fold.requests, COUNT as u64, "every request must retire");
+
+    // Independent single-pass ground truth from a fresh stream.
+    let mut checksum = 0u64;
+    let mut output_tokens = 0u64;
+    let mut prompt_tokens = 0u64;
+    for (id, r) in WorkloadStream::new(4242, &models, spec).take(COUNT).enumerate() {
+        checksum = StatsFold::fold_identity(checksum, id as u64, r.prompt_tokens, r.output_tokens);
+        prompt_tokens += r.prompt_tokens as u64;
+        output_tokens += r.output_tokens as u64;
+    }
+    assert_eq!(report.fold.identity_checksum, checksum, "identity checksum must match");
+    assert_eq!(report.fold.prompt_tokens, prompt_tokens);
+    assert_eq!(report.fold.output_tokens, output_tokens);
+
+    // O(live sessions), not O(total requests).
+    assert!(
+        report.peak_live_sessions < COUNT / 100,
+        "peak live sessions {} is not bounded by the arrival/service equilibrium",
+        report.peak_live_sessions
+    );
+    assert!(
+        report.peak_event_queue <= report.nodes + 1,
+        "event queue grew past one completion per node plus the staged arrival: {}",
+        report.peak_event_queue
+    );
+    assert_eq!(engine.queue().arrival_time_regressions(), 0);
+    assert!(report.throughput_tokens_per_s > 0.0);
+}

@@ -1,18 +1,24 @@
 //! Property tests for the continuous-batching scheduler, the multi-node
-//! placement layer and the paged KV cache: liveness (no request starves,
-//! even under preemption), the micro-batch caps (token budget, max batch),
-//! exact output-token accounting, the placement invariants (token
-//! conservation, per-node clocks bounded by the makespan, 1×1 placement
-//! bit-identical to the single-node executor), and the paging invariants
-//! (pages never double-mapped, `free + Σ mapped == capacity` after any op
-//! sequence, an unbounded pool bit-identical to a never-full bounded one).
+//! placement layer, the paged KV cache and the discrete-event engine:
+//! liveness (no request starves, even under preemption), the micro-batch
+//! caps (token budget, max batch), exact output-token accounting, the
+//! placement invariants (token conservation, per-node clocks bounded by the
+//! makespan, 1×1 placement bit-identical to the single-node executor), the
+//! paging invariants (pages never double-mapped, `free + Σ mapped ==
+//! capacity` after any op sequence, an unbounded pool bit-identical to a
+//! never-full bounded one), and the event-engine invariants (full-report
+//! bit-identity to the per-step oracle across every placement policy,
+//! nondecreasing event-queue pops, session-arena slots never aliased while
+//! live).
 
 use mugi::arch::noc::NocConfig;
 use mugi::MugiAccelerator;
 use mugi_runtime::{
-    pages_for, Executor, ExecutorConfig, KvConfig, KvPool, PageId, PageTable, Placement, Request,
-    Scheduler, SchedulerConfig, SchedulingPolicy, KV_BITS,
+    pages_for, EventEngine, EventQueue, Executor, ExecutorConfig, KvConfig, KvPool, PageId,
+    PageTable, Placement, Request, Scheduler, SchedulerConfig, SchedulingPolicy, SessionArena,
+    KV_BITS,
 };
+use mugi_runtime::{Session, SessionState};
 use mugi_workloads::models::ModelId;
 use proptest::prelude::*;
 
@@ -70,6 +76,32 @@ prop_compose! {
                 SchedulingPolicy::Fcfs
             },
             ..SchedulerConfig::default()
+        }
+    }
+}
+
+// One arena operation: push up to four sessions, then retire up to four.
+prop_compose! {
+    fn arena_op_strategy()(
+        pushes in 0usize..5,
+        retires in 0usize..5,
+    ) -> (usize, usize) {
+        (pushes, retires)
+    }
+}
+
+// One placement drawn from every policy family, over a 2×2 mesh.
+prop_compose! {
+    fn placement_strategy()(
+        kind in 0usize..4,
+        prefill_nodes in 1usize..4,
+    ) -> Placement {
+        let noc = NocConfig { rows: 2, cols: 2 };
+        match kind {
+            0 => Placement::single_node(),
+            1 => Placement::data_parallel(noc),
+            2 => Placement::sharded(noc),
+            _ => Placement::disaggregated(noc, prefill_nodes),
         }
     }
 }
@@ -489,5 +521,170 @@ proptest! {
                 },
             }
         }
+    }
+
+    #[test]
+    fn event_engine_is_bit_identical_to_the_per_step_oracle(
+        requests in prop::collection::vec(small_request_strategy(), 1..10),
+        placement in placement_strategy(),
+        bounded in any::<bool>(),
+        swap in any::<bool>(),
+        headroom in 0usize..3,
+    ) {
+        // The tentpole property: on any workload, any placement policy and
+        // any KV regime — unbounded, bounded with recompute preemption,
+        // bounded with swap preemption — the event engine's report equals
+        // the per-step executor's report exactly, every float included. A
+        // completion event addressing a retired session would panic the
+        // run, so this also proves no event ever targets one.
+        let page_tokens = 32;
+        let kv = if bounded {
+            let max_need = requests
+                .iter()
+                .map(|r| pages_for(r.prompt_tokens + r.output_tokens, page_tokens))
+                .max()
+                .unwrap();
+            let kv = KvConfig::bounded(page_tokens, max_need + headroom);
+            if swap { kv.with_swap_preemption() } else { kv }
+        } else {
+            KvConfig::unbounded()
+        };
+        let exec = ExecutorConfig { kv_bucket: page_tokens, ..ExecutorConfig::default() };
+
+        let mut ex = Executor::with_placement(
+            MugiAccelerator::new(64),
+            Scheduler::with_kv(SchedulerConfig::default(), kv),
+            exec,
+            placement,
+        );
+        for r in &requests {
+            ex.submit(*r);
+        }
+        let oracle = ex.run();
+
+        let mut ev = EventEngine::with_placement(
+            MugiAccelerator::new(64),
+            Scheduler::with_kv(SchedulerConfig::default(), kv),
+            exec,
+            placement,
+        );
+        for r in &requests {
+            ev.submit(*r);
+        }
+        let event = ev.run();
+
+        prop_assert_eq!(&oracle, &event, "event engine diverged from the oracle");
+        // Exactly one completion event per dispatched micro-batch, all
+        // consumed, none left behind.
+        prop_assert_eq!(ev.queue().pop_count(), event.micro_batches);
+        prop_assert!(ev.queue().is_empty());
+        prop_assert_eq!(ev.queue().arrival_time_regressions(), 0);
+    }
+
+    #[test]
+    fn lazily_streamed_sorted_workloads_match_presubmitted_runs(
+        mut requests in prop::collection::vec(small_request_strategy(), 1..10),
+        placement in placement_strategy(),
+    ) {
+        // Streaming equivalence on any placement: submitting each request
+        // at its arrival event must reproduce the pre-submitted run bit for
+        // bit, provided arrivals are nondecreasing (the stable sort keeps
+        // same-cycle requests in generation order, preserving ids).
+        requests.sort_by_key(|r| r.arrival_cycle);
+        let build = || {
+            EventEngine::with_placement(
+                MugiAccelerator::new(64),
+                Scheduler::new(SchedulerConfig::default()),
+                ExecutorConfig::default(),
+                placement,
+            )
+        };
+        let mut pre = build();
+        for r in &requests {
+            pre.submit(*r);
+        }
+        let presubmitted = pre.run();
+        let mut streaming = build();
+        let streamed = streaming.run_stream(requests.iter().copied());
+        prop_assert_eq!(&presubmitted, &streamed);
+        prop_assert_eq!(streaming.queue().arrival_time_regressions(), 0);
+        prop_assert_eq!(
+            streaming.queue().pop_count(),
+            requests.len() as u64 + streamed.micro_batches
+        );
+    }
+
+    #[test]
+    fn event_queue_pops_every_completion_in_nondecreasing_order(
+        times in prop::collection::vec(0u64..10_000, 1..64),
+    ) {
+        // The queue invariant in isolation: any multiset of completion
+        // times pops back sorted, ties in push (seq) order, with exact
+        // observability counters.
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push_completion(t, i as u64);
+        }
+        prop_assert_eq!(q.len(), times.len());
+        prop_assert_eq!(q.peak_len(), times.len());
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push((e.time, e.kind));
+        }
+        for pair in popped.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "pops went back in time");
+            if pair[0].0 == pair[1].0 {
+                // Equal times pop in push order; flight == push index here.
+                let flight = |k| match k {
+                    mugi_runtime::EventKind::Completion { flight } => flight,
+                    other => panic!("unexpected event kind {other:?}"),
+                };
+                prop_assert!(flight(pair[0].1) < flight(pair[1].1), "tie broke out of order");
+            }
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let popped_times: Vec<u64> = popped.iter().map(|p| p.0).collect();
+        prop_assert_eq!(popped_times, sorted, "an event was lost or invented");
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.pop_count(), times.len() as u64);
+        prop_assert_eq!(q.completion_time_regressions(), 0);
+    }
+
+    #[test]
+    fn session_arena_slots_are_never_aliased_while_live(
+        ops in prop::collection::vec(arena_op_strategy(), 1..60),
+    ) {
+        // Random push/retire interleavings: live ids stay dense and
+        // ascending (no slot ever aliases another session), the live window
+        // indexes correctly through compactions, and the peak-live
+        // high-water mark matches a reference model.
+        let mut arena = SessionArena::new();
+        let mut next_id = 0u64;
+        let mut model_peak = 0usize;
+        for (pushes, retires) in ops {
+            for _ in 0..pushes {
+                let req = Request::new(ModelId::Llama2_7b, 1, 1);
+                arena.push(Session::new(mugi_runtime::RequestId(next_id), req));
+                next_id += 1;
+            }
+            model_peak = model_peak.max(arena.len());
+            let n = retires.min(arena.len());
+            for i in 0..n {
+                arena[i].state = SessionState::Finished;
+            }
+            arena.retire_prefix(n);
+            arena.assert_invariants();
+            prop_assert_eq!(
+                arena.retired_count() + arena.len(),
+                next_id as usize,
+                "sessions were lost or duplicated"
+            );
+            for (i, s) in arena.live().iter().enumerate() {
+                prop_assert_eq!(s.id, arena[i].id, "index and live window disagree");
+                prop_assert_eq!(s.id.0 as usize, arena.retired_count() + i);
+            }
+        }
+        prop_assert_eq!(arena.peak_live(), model_peak);
     }
 }
