@@ -21,6 +21,10 @@ pub enum Resource {
     Noc,
 }
 
+/// All resources in declaration (= `Ord`) order, indexing the fixed per-run
+/// state arrays.
+const RESOURCES: [Resource; 3] = [Resource::Compute, Resource::Memory, Resource::Noc];
+
 /// One event: occupy `resource` for `duration` cycles, not starting before
 /// `earliest_start`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,28 +94,60 @@ impl EventEngine {
 
     /// Runs the schedule and returns the makespan plus per-resource busy time,
     /// along with per-event completion times.
+    ///
+    /// Events are processed in ascending `(earliest_start, submission index)`
+    /// order. Per-resource state lives in fixed three-slot arrays indexed by
+    /// the `Resource` discriminant, and when the submitted events are already
+    /// sorted by `earliest_start` — true for every trace the performance
+    /// model emits, since each layer's events are appended as time advances —
+    /// the sort (previously a binary heap) is skipped entirely.
     pub fn run(&self) -> (Schedule, Vec<u64>) {
-        let mut free: std::collections::BTreeMap<Resource, u64> = Default::default();
-        let mut busy: std::collections::BTreeMap<Resource, u64> = Default::default();
-        let mut completions = Vec::with_capacity(self.events.len());
-        // Events are processed in submission order per resource; a min-heap on
-        // (earliest_start, index) keeps deterministic ordering across
-        // resources when start times tie.
-        let mut order: BinaryHeap<Reverse<(u64, usize)>> =
-            self.events.iter().enumerate().map(|(i, e)| Reverse((e.earliest_start, i))).collect();
-        completions.resize(self.events.len(), 0);
+        let mut free = [0u64; 3];
+        let mut busy = [0u64; 3];
+        let mut used = [false; 3];
+        let mut completions = vec![0u64; self.events.len()];
         let mut makespan = 0;
-        while let Some(Reverse((_, idx))) = order.pop() {
+        let mut process = |idx: usize, completions: &mut Vec<u64>| {
             let e = self.events[idx];
-            let resource_free = free.get(&e.resource).copied().unwrap_or(0);
-            let start = resource_free.max(e.earliest_start);
+            let r = e.resource as usize;
+            let start = free[r].max(e.earliest_start);
             let end = start + e.duration;
-            free.insert(e.resource, end);
-            *busy.entry(e.resource).or_insert(0) += e.duration;
+            free[r] = end;
+            busy[r] += e.duration;
+            used[r] = true;
             completions[idx] = end;
             makespan = makespan.max(end);
+        };
+        let sorted = self.events.windows(2).all(|w| w[0].earliest_start <= w[1].earliest_start);
+        if sorted {
+            // Submission order *is* ascending (earliest_start, index) order:
+            // for i < j, earliest_start_i <= earliest_start_j, and the index
+            // breaks ties exactly as the heap's `(start, idx)` key did.
+            for idx in 0..self.events.len() {
+                process(idx, &mut completions);
+            }
+        } else {
+            let mut order: BinaryHeap<Reverse<(u64, usize)>> = self
+                .events
+                .iter()
+                .enumerate()
+                .map(|(i, e)| Reverse((e.earliest_start, i)))
+                .collect();
+            while let Some(Reverse((_, idx))) = order.pop() {
+                process(idx, &mut completions);
+            }
         }
-        let schedule = Schedule { makespan, busy: busy.into_iter().collect() };
+        drop(process);
+        let schedule = Schedule {
+            makespan,
+            // Same contents and order a BTreeMap produced: ascending by
+            // resource, present only if the resource saw an event.
+            busy: RESOURCES
+                .iter()
+                .filter(|&&r| used[r as usize])
+                .map(|&r| (r, busy[r as usize]))
+                .collect(),
+        };
         (schedule, completions)
     }
 }
@@ -169,6 +205,45 @@ mod tests {
         let (schedule, _) = engine.run();
         assert_eq!(schedule.makespan, 400);
         assert!(schedule.utilization(Resource::Memory) > schedule.utilization(Resource::Compute));
+    }
+
+    #[test]
+    fn unsorted_events_match_their_sorted_equivalent() {
+        // The heap fallback must order events exactly as the sorted fast
+        // path does: submit a trace out of order, then the same trace
+        // pre-sorted by (earliest_start, original index), and compare the
+        // schedules event-for-event.
+        let events = [
+            Event { resource: Resource::Memory, earliest_start: 40, duration: 25 },
+            Event { resource: Resource::Compute, earliest_start: 0, duration: 30 },
+            Event { resource: Resource::Compute, earliest_start: 40, duration: 10 },
+            Event { resource: Resource::Noc, earliest_start: 5, duration: 50 },
+            Event { resource: Resource::Compute, earliest_start: 0, duration: 7 },
+        ];
+        let mut shuffled = EventEngine::new();
+        for e in events {
+            shuffled.submit(e);
+        }
+        let mut order: Vec<usize> = (0..events.len()).collect();
+        order.sort_by_key(|&i| (events[i].earliest_start, i));
+        let mut sorted = EventEngine::new();
+        for &i in &order {
+            sorted.submit(events[i]);
+        }
+        let (sched_a, comp_a) = shuffled.run();
+        let (sched_b, comp_b) = sorted.run();
+        assert_eq!(sched_a, sched_b);
+        for (pos, &orig) in order.iter().enumerate() {
+            assert_eq!(comp_a[orig], comp_b[pos]);
+        }
+        // Pin the actual numbers so both paths are checked against a known
+        // hand-schedule, not merely against each other.
+        assert_eq!(sched_a.makespan, 65);
+        assert_eq!(comp_a, vec![65, 30, 50, 55, 37]);
+        assert_eq!(
+            sched_a.busy,
+            vec![(Resource::Compute, 47), (Resource::Memory, 25), (Resource::Noc, 50)]
+        );
     }
 
     #[test]

@@ -21,7 +21,8 @@
 //! growth between rows is attributable to the row).
 //!
 //! Run with: `cargo run --release -p mugi-bench --bin scale_sweep`
-//! (pass `--quick` for a reduced sweep).
+//! (pass `--quick` for a reduced sweep, `--json` to also write the rows to
+//! `BENCH_scale.json` so the perf trajectory is tracked across changes).
 
 use mugi::report::TextTable;
 use mugi::MugiAccelerator;
@@ -111,8 +112,22 @@ fn run_event_folded(count: usize) -> (Row, ScaleReport) {
     (row, report)
 }
 
+/// One `BENCH_scale.json` row, formatted by hand (the repo vendors no JSON
+/// serializer). `peak_rss_mib` is `null` off Linux.
+fn json_row(count: usize, row: &Row, mode: &str) -> String {
+    let req_per_s = count as f64 / row.wall_s.max(1e-9);
+    let rss = peak_rss_mib().map_or("null".to_string(), |m| format!("{m:.1}"));
+    format!(
+        "  {{\"requests\": {count}, \"engine\": \"{}\", \"wall_s\": {:.6}, \
+         \"req_per_s\": {:.0}, \"peak_live\": {}, \"peak_queue\": {}, \
+         \"peak_rss_mib\": {rss}, \"mode\": \"{mode}\"}}",
+        row.engine, row.wall_s, req_per_s, row.peak_live, row.peak_queue
+    )
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let json = std::env::args().any(|a| a == "--json");
     let counts: &[usize] = if quick { &[10_000, 100_000] } else { &[10_000, 100_000, 1_000_000] };
     // The per-step oracle's O(total) memory and stat records make it the
     // contrast curve, not the scale path; cap how far it is driven.
@@ -122,6 +137,9 @@ fn main() {
         "Simulator scale sweep (open-loop Poisson, tiny requests, single 64-lane node)",
         &["requests", "engine", "wall s", "req/s (sim)", "peak live", "peak queue", "peak RSS MiB"],
     );
+
+    let mut json_rows: Vec<String> = Vec::new();
+    let mode = if quick { "quick" } else { "full" };
 
     for &count in counts {
         let mut rows: Vec<Row> = Vec::new();
@@ -168,6 +186,7 @@ fn main() {
                 row.peak_queue.to_string(),
                 peak_rss_mib().map_or("-".to_string(), |m| format!("{m:.0}")),
             ]);
+            json_rows.push(json_row(count, &row, mode));
         }
     }
 
@@ -176,4 +195,11 @@ fn main() {
         "engines on one row serve the identical seeded workload and are asserted \
          bit-identical; peak RSS is the process high-water mark (monotone across rows)"
     );
+
+    if json {
+        let path = "BENCH_scale.json";
+        let body = format!("[\n{}\n]\n", json_rows.join(",\n"));
+        std::fs::write(path, body).expect("writing BENCH_scale.json");
+        println!("wrote {path}");
+    }
 }

@@ -36,6 +36,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+mod memo;
 pub mod report;
 
 pub use mugi_approx as approx;
@@ -45,6 +46,7 @@ pub use mugi_numerics as numerics;
 pub use mugi_vlp as vlp;
 pub use mugi_workloads as workloads;
 
+use crate::memo::{shape_hash, ShapeCache};
 use mugi_arch::designs::{Design, DesignConfig};
 use mugi_arch::noc::NocConfig;
 use mugi_arch::perf::{PerfModel, WorkloadPerformance};
@@ -56,7 +58,6 @@ use mugi_vlp::approx::{ApproxStats, VlpApproxConfig, VlpNonlinear};
 use mugi_vlp::gemm::{GemmStats, VlpGemm, VlpGemmConfig};
 use mugi_workloads::models::ModelId;
 use mugi_workloads::ops::{BatchSlice, OpTrace};
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Key of the per-accelerator operator-trace cache: a micro-batch shape on a
@@ -69,18 +70,41 @@ struct TraceKey {
     kvq: bool,
 }
 
-/// Traces cached per accelerator before the cache is cleared. Micro-batch
-/// shapes recur heavily under continuous batching (decode contexts are
-/// bucketed by the runtime), so a few thousand entries is far more than a
-/// steady state needs; the cap only bounds pathological workloads.
+impl TraceKey {
+    /// Whether this owned key denotes the borrowed shape.
+    fn denotes(&self, model: ModelId, slices: &[BatchSlice], woq: bool, kvq: bool) -> bool {
+        self.model == model && self.woq == woq && self.kvq == kvq && self.slices == slices
+    }
+}
+
+/// Key of the per-accelerator performance-memo cache: a trace shape plus the
+/// NoC it was evaluated on. [`PerfModel::evaluate_noc`] is a pure function
+/// of `(trace, design, noc)` and the design is fixed per accelerator, so the
+/// memoized [`WorkloadPerformance`] is bit-identical to a fresh evaluation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct PerfKey {
+    trace: TraceKey,
+    noc: NocConfig,
+}
+
+/// Traces cached per accelerator before the LRU half is evicted.
+/// Micro-batch shapes recur heavily under continuous batching (decode
+/// contexts are bucketed by the runtime), so a few thousand entries is far
+/// more than a steady state needs; the cap only bounds pathological
+/// workloads.
 const TRACE_CACHE_CAP: usize = 4096;
+
+/// Memoized performance estimates cached before the LRU half is evicted.
+/// Entries are small `Copy` structs, so the cap matches the trace cache's.
+const PERF_CACHE_CAP: usize = 4096;
 
 /// A single-node Mugi accelerator: the paper's contribution wrapped in one
 /// object that exposes functional execution (GEMM, nonlinear approximation)
 /// and architectural estimation (throughput, energy, area, carbon).
 ///
-/// Clones share the operator-trace cache, so a serving runtime can hand
-/// clones to workers without re-deriving traces.
+/// Clones share both estimate caches — the operator traces and the memoized
+/// per-shape [`WorkloadPerformance`] results — so a serving runtime can hand
+/// clones to workers without re-deriving either.
 #[derive(Clone, Debug)]
 pub struct MugiAccelerator {
     design: DesignConfig,
@@ -88,7 +112,11 @@ pub struct MugiAccelerator {
     softmax_engine: VlpNonlinear,
     silu_engine: VlpNonlinear,
     gelu_engine: VlpNonlinear,
-    trace_cache: Arc<Mutex<HashMap<TraceKey, Arc<OpTrace>>>>,
+    trace_cache: Arc<Mutex<ShapeCache<TraceKey, Arc<OpTrace>>>>,
+    /// Second cache level: the full performance-model result per
+    /// `(shape, NoC)`, so a steady-state estimate is one hash lookup instead
+    /// of an event-engine run over the cached trace.
+    perf_cache: Arc<Mutex<ShapeCache<PerfKey, WorkloadPerformance>>>,
 }
 
 impl MugiAccelerator {
@@ -123,7 +151,8 @@ impl MugiAccelerator {
                 VlpApproxConfig::recommended_for(NonlinearOp::Gelu),
                 array_height,
             ),
-            trace_cache: Arc::new(Mutex::new(HashMap::new())),
+            trace_cache: Arc::new(Mutex::new(ShapeCache::with_cap(TRACE_CACHE_CAP))),
+            perf_cache: Arc::new(Mutex::new(ShapeCache::with_cap(PERF_CACHE_CAP))),
         }
     }
 
@@ -180,7 +209,9 @@ impl MugiAccelerator {
 
     /// Returns the cached operator trace for a micro-batch shape, generating
     /// and inserting it on first use. Traces are immutable once built, so
-    /// clones of the accelerator share them through the `Arc`.
+    /// clones of the accelerator share them through the `Arc`. The lookup
+    /// hashes the *borrowed* slices and only clones them into an owned key
+    /// on a miss, so steady-state hits allocate nothing.
     fn cached_trace(
         &self,
         model: ModelId,
@@ -188,26 +219,68 @@ impl MugiAccelerator {
         woq: bool,
         kvq: bool,
     ) -> Arc<OpTrace> {
-        let key = TraceKey { model, slices: slices.to_vec(), woq, kvq };
-        if let Some(trace) = self.trace_cache.lock().expect("trace cache poisoned").get(&key) {
-            return Arc::clone(trace);
+        let hash = shape_hash(&(model, slices, woq, kvq));
+        let hit = self
+            .trace_cache
+            .lock()
+            .expect("trace cache poisoned")
+            .get(hash, |k| k.denotes(model, slices, woq, kvq));
+        if let Some(trace) = hit {
+            return trace;
         }
         // Generate outside the lock so concurrent clones estimating other
         // shapes are not serialized behind this (relatively expensive) call;
         // a racing miss on the same key just generates the trace twice and
         // the second insert wins harmlessly.
         let trace = Arc::new(OpTrace::generate_mixed(&model.config(), slices, woq, kvq));
-        let mut cache = self.trace_cache.lock().expect("trace cache poisoned");
-        if cache.len() >= TRACE_CACHE_CAP {
-            cache.clear();
-        }
-        cache.insert(key, Arc::clone(&trace));
+        let key = TraceKey { model, slices: slices.to_vec(), woq, kvq };
+        self.trace_cache.lock().expect("trace cache poisoned").insert(
+            hash,
+            key,
+            Arc::clone(&trace),
+            |k| k.denotes(model, slices, woq, kvq),
+        );
         trace
+    }
+
+    /// Evaluates a micro-batch shape on `noc`, memoizing the result: the
+    /// first estimate of a shape builds the trace and runs the performance
+    /// model's event engine; every later one is a hash lookup returning the
+    /// bit-identical [`WorkloadPerformance`]. This is the whole serving hot
+    /// path — one call per scheduler step.
+    fn memoized_perf(
+        &self,
+        model: ModelId,
+        slices: &[BatchSlice],
+        woq: bool,
+        kvq: bool,
+        noc: NocConfig,
+    ) -> WorkloadPerformance {
+        let hash = shape_hash(&(model, slices, woq, kvq, noc));
+        let matches = |k: &PerfKey| k.noc == noc && k.trace.denotes(model, slices, woq, kvq);
+        let hit = self.perf_cache.lock().expect("perf cache poisoned").get(hash, matches);
+        if let Some(perf) = hit {
+            return perf;
+        }
+        // Evaluate outside the lock, like the trace path: the result is a
+        // pure function of (shape, design, noc), so a racing duplicate
+        // insert is bit-identical and harmless.
+        let trace = self.cached_trace(model, slices, woq, kvq);
+        let perf = PerfModel::new(Design::new(self.design)).evaluate_noc(&trace, noc);
+        let key = PerfKey { trace: TraceKey { model, slices: slices.to_vec(), woq, kvq }, noc };
+        self.perf_cache.lock().expect("perf cache poisoned").insert(hash, key, perf, matches);
+        perf
     }
 
     /// Number of operator traces currently cached (shared across clones).
     pub fn trace_cache_entries(&self) -> usize {
         self.trace_cache.lock().expect("trace cache poisoned").len()
+    }
+
+    /// Number of memoized performance estimates currently cached (shared
+    /// across clones).
+    pub fn perf_cache_entries(&self) -> usize {
+        self.perf_cache.lock().expect("perf cache poisoned").len()
     }
 
     /// Estimates decode throughput and efficiency for one of the paper's LLMs
@@ -221,8 +294,13 @@ impl MugiAccelerator {
         batch: usize,
         seq_len: usize,
     ) -> WorkloadPerformance {
-        let trace = self.cached_trace(model, &[BatchSlice::decode(batch, seq_len)], true, true);
-        PerfModel::new(Design::new(self.design)).evaluate(&trace)
+        self.memoized_perf(
+            model,
+            &[BatchSlice::decode(batch, seq_len)],
+            true,
+            true,
+            NocConfig::single(),
+        )
     }
 
     /// Estimates throughput and efficiency on a multi-node NoC (trace cached
@@ -234,8 +312,7 @@ impl MugiAccelerator {
         seq_len: usize,
         noc: NocConfig,
     ) -> WorkloadPerformance {
-        let trace = self.cached_trace(model, &[BatchSlice::decode(batch, seq_len)], true, true);
-        PerfModel::new(Design::new(self.design)).evaluate_noc(&trace, noc)
+        self.memoized_perf(model, &[BatchSlice::decode(batch, seq_len)], true, true, noc)
     }
 
     /// Evaluates one continuous-batching micro-batch — an arbitrary
@@ -251,8 +328,9 @@ impl MugiAccelerator {
         model: ModelId,
         slices: &[BatchSlice],
     ) -> WorkloadPerformance {
-        let trace = self.cached_trace(model, slices, true, true);
-        PerfModel::new(Design::new(self.design)).evaluate(&trace)
+        // `PerfModel::evaluate` is exactly `evaluate_noc` on the 1×1 mesh,
+        // so the single-node path shares the memo with `noc: single()`.
+        self.memoized_perf(model, slices, true, true, NocConfig::single())
     }
 
     /// Evaluates one continuous-batching micro-batch tiled across a NoC mesh
@@ -271,8 +349,7 @@ impl MugiAccelerator {
         slices: &[BatchSlice],
         noc: NocConfig,
     ) -> WorkloadPerformance {
-        let trace = self.cached_trace(model, slices, true, true);
-        PerfModel::new(Design::new(self.design)).evaluate_noc(&trace, noc)
+        self.memoized_perf(model, slices, true, true, noc)
     }
 
     /// The circuit-level cost model backing this node's estimates (used by
@@ -354,6 +431,85 @@ mod tests {
         // Repeating the same micro-batch shape hits the cache.
         accel.estimate_micro_batch(ModelId::Llama2_7b, &slices);
         assert_eq!(accel.trace_cache_entries(), 1);
+    }
+
+    #[test]
+    fn cache_hit_returns_the_same_trace_arc() {
+        use mugi_workloads::ops::BatchSlice;
+        let accel = MugiAccelerator::new(128);
+        let slices = [BatchSlice::decode(4, 512)];
+        let first = accel.cached_trace(ModelId::Llama2_7b, &slices, true, true);
+        let second = accel.cached_trace(ModelId::Llama2_7b, &slices, true, true);
+        assert!(Arc::ptr_eq(&first, &second), "a cache hit must return the same Arc, not a copy");
+        // A clone shares the cache, so it too sees the very same allocation.
+        let third = accel.clone().cached_trace(ModelId::Llama2_7b, &slices, true, true);
+        assert!(Arc::ptr_eq(&first, &third));
+    }
+
+    #[test]
+    fn clones_share_the_perf_memo_cache() {
+        let accel = MugiAccelerator::new(128);
+        let clone = accel.clone();
+        assert_eq!(accel.perf_cache_entries(), 0);
+        let via_clone = clone.estimate_llm_throughput(ModelId::Llama2_7b, 8, 1024);
+        // The original observes the clone's insert (Arc-shared cache) and a
+        // repeat estimate through it returns the bit-identical memo.
+        assert_eq!(accel.perf_cache_entries(), 1);
+        let via_original = accel.estimate_llm_throughput(ModelId::Llama2_7b, 8, 1024);
+        assert_eq!(via_clone, via_original);
+        assert_eq!(accel.perf_cache_entries(), 1);
+    }
+
+    #[test]
+    fn perf_memo_is_keyed_by_noc_config() {
+        use mugi_workloads::ops::BatchSlice;
+        let accel = MugiAccelerator::new(256);
+        let slices = [BatchSlice::decode(8, 2048)];
+        let single =
+            accel.estimate_micro_batch_noc(ModelId::Llama2_7b, &slices, NocConfig::single());
+        let mesh =
+            accel.estimate_micro_batch_noc(ModelId::Llama2_7b, &slices, NocConfig::mesh_4x4());
+        // One trace, two memo entries: the NoC config is folded into the key,
+        // so distinct meshes never alias each other's estimates.
+        assert_eq!(accel.trace_cache_entries(), 1);
+        assert_eq!(accel.perf_cache_entries(), 2);
+        assert!(mesh.tokens_per_second > single.tokens_per_second);
+        // Each memoized result stays bit-identical to direct evaluation.
+        let trace = OpTrace::generate_mixed(&ModelId::Llama2_7b.config(), &slices, true, true);
+        let model = PerfModel::new(Design::new(*accel.design_config()));
+        assert_eq!(single, model.evaluate_noc(&trace, NocConfig::single()));
+        assert_eq!(mesh, model.evaluate_noc(&trace, NocConfig::mesh_4x4()));
+        // The single-node convenience path shares the `single()` memo entry.
+        assert_eq!(accel.estimate_micro_batch(ModelId::Llama2_7b, &slices), single);
+        assert_eq!(accel.perf_cache_entries(), 2);
+    }
+
+    #[test]
+    fn capped_trace_cache_keeps_its_hottest_shape() {
+        // Regression for the wholesale-clear eviction bug: a steady-state
+        // shape that hits between floods of cold one-off shapes must survive
+        // the cap, however many eviction rounds happen.
+        let accel = MugiAccelerator::new(64);
+        let cap = 32;
+        accel.trace_cache.lock().unwrap().set_cap(cap);
+        let hot = [BatchSlice::decode(16, 4096)];
+        accel.cached_trace(ModelId::Llama2_7b, &hot, true, true);
+        let hot_arc = accel.cached_trace(ModelId::Llama2_7b, &hot, true, true);
+        for seq_len in 1..=4 * cap {
+            accel.cached_trace(ModelId::Llama2_7b, &[BatchSlice::decode(1, seq_len)], true, true);
+            // Touch the hot shape every few cold inserts, like a scheduler
+            // steadily stepping one resident batch shape.
+            if seq_len % 8 == 0 {
+                let again = accel.cached_trace(ModelId::Llama2_7b, &hot, true, true);
+                assert!(
+                    Arc::ptr_eq(&hot_arc, &again),
+                    "hot shape evicted after {seq_len} cold inserts"
+                );
+            }
+        }
+        assert!(accel.trace_cache_entries() <= cap);
+        let again = accel.cached_trace(ModelId::Llama2_7b, &hot, true, true);
+        assert!(Arc::ptr_eq(&hot_arc, &again));
     }
 
     #[test]

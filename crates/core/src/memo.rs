@@ -1,0 +1,204 @@
+//! A shape-keyed memo cache with borrowed two-phase lookup and
+//! segmented-LRU eviction.
+//!
+//! Both per-accelerator caches — operator traces and memoized
+//! [`WorkloadPerformance`](mugi_arch::perf::WorkloadPerformance) estimates —
+//! are keyed by a micro-batch shape (`&[BatchSlice]` plus a handful of
+//! `Copy` flags). The serving hot path looks the same shape up once per
+//! scheduler step, so two properties matter:
+//!
+//! * **Hits must not allocate.** The caller hashes the *borrowed* shape
+//!   first ([`ShapeCache::get`] takes the precomputed hash plus an equality
+//!   predicate) and only clones the slices into an owned key on a miss
+//!   ([`ShapeCache::insert`]). A steady-state lookup is a hash, a bucket
+//!   probe and a slice comparison — no `to_vec`.
+//! * **Eviction must keep hot shapes.** A full cache evicts its
+//!   least-recently-used *half* (a segmented-LRU sweep) instead of clearing
+//!   wholesale, so the steady-state decode shapes that hit every step
+//!   survive a flood of cold one-off shapes.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// One cached entry: the owned key, the value and the last-use tick that
+/// drives eviction.
+#[derive(Clone, Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    last_use: u64,
+}
+
+/// A capacity-capped cache keyed by a precomputed hash plus a caller-side
+/// equality predicate, so lookups never materialize an owned key.
+#[derive(Clone, Debug)]
+pub(crate) struct ShapeCache<K, V> {
+    /// Hash-indexed buckets; collisions chain in the bucket's `Vec`.
+    buckets: HashMap<u64, Vec<Slot<K, V>>>,
+    /// Total entries across buckets.
+    len: usize,
+    /// Entry cap: an insert at the cap evicts the LRU half first.
+    cap: usize,
+    /// Monotone access clock; every hit and insert stamps the entry.
+    tick: u64,
+}
+
+impl<K, V: Clone> ShapeCache<K, V> {
+    /// An empty cache holding at most `cap` entries.
+    pub(crate) fn with_cap(cap: usize) -> Self {
+        assert!(cap >= 2, "a capped cache needs room for at least two entries");
+        ShapeCache { buckets: HashMap::new(), len: 0, cap, tick: 0 }
+    }
+
+    /// Number of cached entries.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Shrinks the cap so tests can exercise eviction without flooding
+    /// thousands of real entries.
+    #[cfg(test)]
+    pub(crate) fn set_cap(&mut self, cap: usize) {
+        assert!(cap >= 2, "a capped cache needs room for at least two entries");
+        self.cap = cap;
+    }
+
+    /// Looks up the entry with `hash` whose key satisfies `matches`,
+    /// bumping its last-use tick. The caller hashes the borrowed shape via
+    /// [`shape_hash`]-style helpers, so hits allocate nothing.
+    pub(crate) fn get(&mut self, hash: u64, matches: impl Fn(&K) -> bool) -> Option<V> {
+        let slot = self.buckets.get_mut(&hash)?.iter_mut().find(|s| matches(&s.key))?;
+        self.tick += 1;
+        slot.last_use = self.tick;
+        Some(slot.value.clone())
+    }
+
+    /// Inserts `value` under `(hash, key)`, replacing an existing entry
+    /// whose key satisfies `matches` (two racing misses on one shape insert
+    /// the same pure-function result twice; the second write wins
+    /// harmlessly). At the cap the least-recently-used half is evicted
+    /// first.
+    pub(crate) fn insert(&mut self, hash: u64, key: K, value: V, matches: impl Fn(&K) -> bool) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(slot) = self
+            .buckets
+            .get_mut(&hash)
+            .and_then(|bucket| bucket.iter_mut().find(|s| matches(&s.key)))
+        {
+            slot.value = value;
+            slot.last_use = tick;
+            return;
+        }
+        if self.len >= self.cap {
+            self.evict_lru_half();
+        }
+        self.buckets.entry(hash).or_default().push(Slot { key, value, last_use: tick });
+        self.len += 1;
+    }
+
+    /// Evicts the least-recently-used half of the entries (ties impossible:
+    /// the tick is strictly monotone). The recently-hit half — the hot
+    /// steady-state shapes — survives, unlike the wholesale `clear()` this
+    /// replaces.
+    fn evict_lru_half(&mut self) {
+        let mut ticks: Vec<u64> =
+            self.buckets.values().flat_map(|bucket| bucket.iter().map(|s| s.last_use)).collect();
+        let mid = ticks.len() / 2;
+        let (_, &mut threshold, _) = ticks.select_nth_unstable(mid);
+        self.buckets.retain(|_, bucket| {
+            bucket.retain(|s| s.last_use >= threshold);
+            !bucket.is_empty()
+        });
+        self.len = self.buckets.values().map(Vec::len).sum();
+    }
+}
+
+/// Hashes a borrowed shape with the process-deterministic default hasher.
+/// Both cache layers key on this, so a hit costs one hash of the borrowed
+/// slices — never an owned-key materialization.
+pub(crate) fn shape_hash(parts: &impl Hash) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    parts.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn insert(cache: &mut ShapeCache<u64, u64>, key: u64) {
+        cache.insert(shape_hash(&key), key, key * 10, |&k| k == key);
+    }
+
+    fn get(cache: &mut ShapeCache<u64, u64>, key: u64) -> Option<u64> {
+        cache.get(shape_hash(&key), |&k| k == key)
+    }
+
+    #[test]
+    fn hit_miss_and_replace() {
+        let mut cache = ShapeCache::with_cap(8);
+        assert_eq!(get(&mut cache, 1), None);
+        insert(&mut cache, 1);
+        assert_eq!(get(&mut cache, 1), Some(10));
+        assert_eq!(cache.len(), 1);
+        // Re-inserting the same key replaces, never duplicates.
+        cache.insert(shape_hash(&1u64), 1, 99, |&k| k == 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(get(&mut cache, 1), Some(99));
+    }
+
+    #[test]
+    fn eviction_keeps_the_recently_used_half() {
+        let mut cache = ShapeCache::with_cap(8);
+        for key in 0..8 {
+            insert(&mut cache, key);
+        }
+        assert_eq!(cache.len(), 8);
+        // Touch the "hot" upper half, then overflow: the untouched lower
+        // half must be the one evicted.
+        for key in 4..8 {
+            assert!(get(&mut cache, key).is_some());
+        }
+        insert(&mut cache, 100);
+        assert!(cache.len() <= 5, "eviction must drop about half, kept {}", cache.len());
+        for key in 4..8 {
+            assert!(get(&mut cache, key).is_some(), "recently-used key {key} was evicted");
+        }
+        assert_eq!(get(&mut cache, 100), Some(1000), "the triggering insert must land");
+        for key in 0..4 {
+            assert_eq!(get(&mut cache, key), None, "cold key {key} should have been evicted");
+        }
+    }
+
+    #[test]
+    fn hottest_key_survives_sustained_cold_floods() {
+        // The regression the segmented sweep exists for: a hot steady-state
+        // key touched between cold inserts must survive arbitrarily many
+        // eviction rounds (the old wholesale clear() dropped it).
+        let mut cache = ShapeCache::with_cap(16);
+        insert(&mut cache, 7777);
+        for cold in 0..10_000u64 {
+            insert(&mut cache, 10_000 + cold);
+            if cold % 4 == 0 {
+                assert!(get(&mut cache, 7777).is_some(), "hot key evicted after {cold} inserts");
+            }
+        }
+        assert!(get(&mut cache, 7777).is_some());
+        assert!(cache.len() <= 16);
+    }
+
+    #[test]
+    fn hash_collisions_chain_within_a_bucket() {
+        // Force two distinct keys into one bucket by lying about the hash:
+        // the equality predicate must disambiguate them.
+        let mut cache: ShapeCache<u64, u64> = ShapeCache::with_cap(8);
+        cache.insert(42, 1, 10, |&k| k == 1);
+        cache.insert(42, 2, 20, |&k| k == 2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(42, |&k| k == 1), Some(10));
+        assert_eq!(cache.get(42, |&k| k == 2), Some(20));
+        assert_eq!(cache.get(42, |&k| k == 3), None);
+    }
+}

@@ -324,9 +324,7 @@ impl EventEngine {
         let mut fold = Some(StatsFold::default());
         while self.advance(&mut stream, &mut fold) {}
         let mut fold = fold.expect("fold survives the run");
-        for stats in self.ex.take_retirable_stats() {
-            fold.add(&stats);
-        }
+        self.ex.retire_finished_with(|stats| fold.add(&stats));
         self.scale_report(fold)
     }
 
@@ -382,9 +380,7 @@ impl EventEngine {
             .expect("completion event targets a batch no longer in flight");
         self.ex.finish(idx);
         if let Some(fold) = fold {
-            for stats in self.ex.take_retirable_stats() {
-                fold.add(&stats);
-            }
+            self.ex.retire_finished_with(|stats| fold.add(&stats));
         }
     }
 

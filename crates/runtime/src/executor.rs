@@ -41,7 +41,7 @@ use crate::scheduler::{BatchItem, MicroBatch, PhaseFilter, Scheduler};
 use crate::stats::{KvStats, Percentiles, RequestStats, RuntimeReport};
 use mugi::arch::cost::CostModel;
 use mugi::MugiAccelerator;
-use mugi_workloads::ops::Phase;
+use mugi_workloads::ops::{BatchSlice, Phase};
 use serde::{Deserialize, Serialize};
 
 /// Executor configuration.
@@ -145,6 +145,11 @@ pub struct Executor {
     transfer_energy_pj: f64,
     /// Stall cycles spent streaming KV transfers.
     transfer_stall_cycles: u64,
+    /// Reusable workload-slice buffer for [`Executor::dispatch`], so the
+    /// per-step estimate does not allocate in steady state.
+    slice_scratch: Vec<BatchSlice>,
+    /// Reusable per-item energy-share buffer for the same hot path.
+    share_scratch: Vec<f64>,
 }
 
 impl Executor {
@@ -242,6 +247,8 @@ impl Executor {
             transfer_bytes: 0,
             transfer_energy_pj: 0.0,
             transfer_stall_cycles: 0,
+            slice_scratch: Vec::new(),
+            share_scratch: Vec::new(),
         }
     }
 
@@ -388,6 +395,9 @@ impl Executor {
             }
             self.service_migrations(pending.end);
         }
+        // The batch is fully applied: hand its allocations back so the next
+        // formation reuses them.
+        self.scheduler.recycle(pending.batch);
         if self.config.retire_finished {
             self.retire_finished();
         }
@@ -470,26 +480,28 @@ impl Executor {
     /// session window into `retired_stats` and drops the sessions plus
     /// their accounting slots.
     fn retire_finished(&mut self) {
-        let stats = self.take_retirable_stats();
-        self.retired_stats.extend(stats);
+        let mut retired = std::mem::take(&mut self.retired_stats);
+        self.retire_finished_with(|stats| retired.push(stats));
+        self.retired_stats = retired;
     }
 
     /// Retires every finished session at the front of the session window —
     /// dropping it from the scheduler, folding its NoC energy and freeing
-    /// its accounting slot — and returns its statistics in id order. The
-    /// per-step executor keeps them in `retired_stats` for the full report;
-    /// the event engine's folded mode streams them into a
-    /// [`StatsFold`](crate::stats::StatsFold) instead, so nothing grows
-    /// with the request count.
-    pub(crate) fn take_retirable_stats(&mut self) -> Vec<RequestStats> {
+    /// its accounting slot — streaming each session's statistics into
+    /// `sink` in id order. The per-step executor sinks into
+    /// `retired_stats` for the full report; the event engine's folded mode
+    /// sinks straight into a [`StatsFold`](crate::stats::StatsFold), so
+    /// nothing grows — or allocates — with the request count.
+    pub(crate) fn retire_finished_with(&mut self, mut sink: impl FnMut(RequestStats)) {
         let prefix = self.scheduler.sessions().iter().take_while(|s| s.is_finished()).count();
         if prefix == 0 {
-            return Vec::new();
+            return;
         }
-        let stats: Vec<RequestStats> = self.scheduler.sessions()[..prefix]
-            .iter()
-            .filter_map(|s| self.session_stats(s))
-            .collect();
+        for s in &self.scheduler.sessions()[..prefix] {
+            if let Some(stats) = self.session_stats(s) {
+                sink(stats);
+            }
+        }
         let retired = self.scheduler.retire_finished_prefix();
         debug_assert_eq!(retired, prefix);
         for a in &self.accounting[..retired] {
@@ -497,7 +509,6 @@ impl Executor {
         }
         self.accounting.drain(..retired);
         self.acct_base += retired;
-        stats
     }
 
     /// Dispatches one micro-batch. Returns `false` once every submitted
@@ -591,7 +602,8 @@ impl Executor {
     /// Evaluates one micro-batch on the accelerator model, occupies its
     /// node(s) and queues the completion.
     pub(crate) fn dispatch(&mut self, node: usize, batch: MicroBatch, start: u64) {
-        let slices = batch.slices(self.config.kv_bucket);
+        let mut slices = std::mem::take(&mut self.slice_scratch);
+        batch.slices_into(self.config.kv_bucket, &mut slices);
         let noc = self.placement.noc;
         let (step_cycles, compute_energy_pj, noc_energy_pj, attention_energy_pj) =
             match self.placement.policy {
@@ -615,6 +627,8 @@ impl Executor {
                     (cycles, energy, perf.noc_energy_pj, perf.node.energy_breakdown.attention)
                 }
             };
+        slices.clear();
+        self.slice_scratch = slices;
         // Preemptions stall the step while the pool is reshuffled: a fixed
         // fault cost per evicted page, on top of the victims' much larger
         // recompute cost (paid when their prefills re-execute). Unbounded
@@ -653,15 +667,22 @@ impl Executor {
             PlacementPolicy::Sharded => self.pool.dispatch_all(start, step_cycles),
         }
         self.steps += 1;
-        let shares = attribute_step_energy(&batch.items, compute_energy_pj, attention_energy_pj);
+        let mut shares = std::mem::take(&mut self.share_scratch);
+        attribute_step_energy_into(
+            &batch.items,
+            compute_energy_pj,
+            attention_energy_pj,
+            &mut shares,
+        );
         let total_tokens = batch.total_tokens().max(1) as f64;
-        for (item, share) in batch.items.iter().zip(shares) {
+        for (item, &share) in batch.items.iter().zip(shares.iter()) {
             let slot = self.aidx(item.id);
             let acct = &mut self.accounting[slot];
             acct.energy_pj += share;
             acct.noc_energy_pj += noc_energy_pj * item.tokens as f64 / total_tokens;
             acct.micro_batches += 1;
         }
+        self.share_scratch = shares;
         self.in_flight.push(InFlight { batch, node, end, seq: self.steps });
     }
 
@@ -777,28 +798,40 @@ impl Executor {
 /// share of the dynamic energy is weighted by `tokens × attended KV` (long
 /// contexts read and score more cache), everything else (projections, FFN,
 /// nonlinear, HBM, leakage) by token share alone.
-fn attribute_step_energy(
+fn attribute_step_energy_into(
     items: &[BatchItem],
     compute_energy_pj: f64,
     attention_energy_pj: f64,
-) -> Vec<f64> {
+    out: &mut Vec<f64>,
+) {
+    out.clear();
     let attention_pj = attention_energy_pj.min(compute_energy_pj);
     let rest_pj = compute_energy_pj - attention_pj;
     let total_tokens: f64 = items.iter().map(|i| i.tokens as f64).sum();
     let total_kv_weight: f64 =
         items.iter().map(|i| i.tokens as f64 * i.context_len.max(1) as f64).sum();
-    items
-        .iter()
-        .map(|i| {
-            let token_share = if total_tokens > 0.0 { i.tokens as f64 / total_tokens } else { 0.0 };
-            let kv_share = if total_kv_weight > 0.0 {
-                i.tokens as f64 * i.context_len.max(1) as f64 / total_kv_weight
-            } else {
-                0.0
-            };
-            rest_pj * token_share + attention_pj * kv_share
-        })
-        .collect()
+    out.extend(items.iter().map(|i| {
+        let token_share = if total_tokens > 0.0 { i.tokens as f64 / total_tokens } else { 0.0 };
+        let kv_share = if total_kv_weight > 0.0 {
+            i.tokens as f64 * i.context_len.max(1) as f64 / total_kv_weight
+        } else {
+            0.0
+        };
+        rest_pj * token_share + attention_pj * kv_share
+    }));
+}
+
+/// [`attribute_step_energy_into`] returning a fresh vector (test
+/// convenience; the dispatch hot path reuses a scratch buffer instead).
+#[cfg(test)]
+fn attribute_step_energy(
+    items: &[BatchItem],
+    compute_energy_pj: f64,
+    attention_energy_pj: f64,
+) -> Vec<f64> {
+    let mut out = Vec::new();
+    attribute_step_energy_into(items, compute_energy_pj, attention_energy_pj, &mut out);
+    out
 }
 
 #[cfg(test)]

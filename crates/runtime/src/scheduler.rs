@@ -260,24 +260,35 @@ impl MicroBatch {
     /// # Panics
     /// Panics if `kv_bucket` is zero.
     pub fn slices(&self, kv_bucket: usize) -> Vec<BatchSlice> {
+        let mut slices = Vec::new();
+        self.slices_into(kv_bucket, &mut slices);
+        slices
+    }
+
+    /// [`slices`](Self::slices), writing into a caller-owned buffer so the
+    /// executor's per-step estimate reuses one allocation for the whole run.
+    /// `out` is cleared first; the slice list produced is identical to
+    /// [`slices`](Self::slices).
+    ///
+    /// # Panics
+    /// Panics if `kv_bucket` is zero.
+    pub fn slices_into(&self, kv_bucket: usize, out: &mut Vec<BatchSlice>) {
         assert!(kv_bucket > 0, "kv_bucket must be non-zero");
+        out.clear();
         let bucket = |len: usize| pages_for(len, kv_bucket) * kv_bucket;
-        // Group decode slots by bucketed context length, preserving ascending
-        // order so equal batches always produce identical slice lists.
-        let mut decode_buckets: Vec<(usize, usize)> = Vec::new(); // (context, count)
+        // Group decode slots by bucketed context length, maintained as a
+        // sorted prefix of `out` (ascending context), so equal batches always
+        // produce identical slice lists.
         for item in self.items.iter().filter(|i| i.phase == Phase::Decode) {
             let ctx = bucket(item.context_len);
-            match decode_buckets.binary_search_by_key(&ctx, |&(c, _)| c) {
-                Ok(pos) => decode_buckets[pos].1 += 1,
-                Err(pos) => decode_buckets.insert(pos, (ctx, 1)),
+            match out.binary_search_by_key(&ctx, |s| s.kv_len) {
+                Ok(pos) => out[pos].batch += 1,
+                Err(pos) => out.insert(pos, BatchSlice::decode(1, ctx)),
             }
         }
-        let mut slices: Vec<BatchSlice> =
-            decode_buckets.into_iter().map(|(ctx, count)| BatchSlice::decode(count, ctx)).collect();
         for item in self.items.iter().filter(|i| i.phase == Phase::Prefill) {
-            slices.push(BatchSlice::prefill(1, item.tokens).with_kv_len(bucket(item.context_len)));
+            out.push(BatchSlice::prefill(1, item.tokens).with_kv_len(bucket(item.context_len)));
         }
-        slices
     }
 }
 
@@ -384,6 +395,16 @@ pub struct Scheduler {
     swap_outs: u64,
     /// Pages moved by those swap-outs.
     swapped_pages: u64,
+    /// Reusable model-ranking buffer for
+    /// [`Scheduler::next_micro_batch_phased`], so steady-state formation
+    /// allocates nothing.
+    scratch_candidates: Vec<(u64, RequestId, usize)>,
+    /// Reusable eligible-session buffer for [`Scheduler::try_form`] (filled
+    /// for the decode pass, then refilled for the prefill pass).
+    scratch_ids: Vec<RequestId>,
+    /// Item vectors of retired micro-batches handed back via
+    /// [`Scheduler::recycle`], reused by the next formation.
+    spare_items: Vec<Vec<BatchItem>>,
 }
 
 /// Outcome of one KV-page migration ([`Scheduler::migrate_session`]): what
@@ -439,6 +460,9 @@ impl Scheduler {
             migrated_pages: 0,
             swap_outs: 0,
             swapped_pages: 0,
+            scratch_candidates: Vec::new(),
+            scratch_ids: Vec::new(),
+            spare_items: Vec::new(),
         }
     }
 
@@ -824,23 +848,21 @@ impl Scheduler {
         // joins or leaves in between. Under KV pressure a model may have
         // eligible-but-unformable work (everything blocked on pages), so the
         // ranking is a preference order, not a single pick.
-        let mut candidates: Vec<(u64, RequestId, usize)> = self
-            .queues
-            .iter()
-            .enumerate()
-            .filter_map(|(qi, q)| {
-                q.decoding
-                    .iter()
-                    .filter(|_| phase.decode())
-                    .chain(q.waiting.iter().filter(|_| phase.prefill()))
-                    .filter(|&&id| self.eligible_on(id, now, pool))
-                    .map(|&id| id)
-                    .min()
-                    .map(|oldest| (q.last_served, oldest, qi))
-            })
-            .collect();
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        candidates.clear();
+        candidates.extend(self.queues.iter().enumerate().filter_map(|(qi, q)| {
+            q.decoding
+                .iter()
+                .filter(|_| phase.decode())
+                .chain(q.waiting.iter().filter(|_| phase.prefill()))
+                .filter(|&&id| self.eligible_on(id, now, pool))
+                .map(|&id| id)
+                .min()
+                .map(|oldest| (q.last_served, oldest, qi))
+        }));
         candidates.sort();
-        for (_, _, qi) in candidates {
+        let mut formed = None;
+        for &(_, _, qi) in &candidates {
             let (items, evicted_pages, swapped_out) = self.try_form(now, pool, qi, phase);
             if items.is_empty() {
                 continue;
@@ -850,14 +872,16 @@ impl Scheduler {
             for item in &items {
                 self.in_flight.insert(item.id);
             }
-            return Some(MicroBatch {
+            formed = Some(MicroBatch {
                 model: self.queues[qi].model,
                 items,
                 evicted_pages,
                 swapped_out,
             });
+            break;
         }
-        None
+        self.scratch_candidates = candidates;
+        formed
     }
 
     /// Tries to form a micro-batch for the model of queue `qi` out of KV
@@ -875,8 +899,11 @@ impl Scheduler {
             self.config;
         let KvConfig { page_tokens, .. } = self.kv;
         let paged = !self.pools.is_empty();
-        let mut items: Vec<BatchItem> = Vec::new();
-        let mut in_batch: HashSet<RequestId> = HashSet::new();
+        // Batch membership ("in_batch") is a linear scan over `items` — at
+        // most `max_batch` entries — instead of a freshly allocated hash
+        // set; the items vector itself comes from the recycle free list.
+        let mut items: Vec<BatchItem> = self.spare_items.pop().unwrap_or_default();
+        items.clear();
         let mut tokens = 0usize;
         let mut evicted_pages = 0usize;
         let mut swapped_out: Vec<SwapOut> = Vec::new();
@@ -888,12 +915,15 @@ impl Scheduler {
         // session that cannot reclaim enough simply skips this step (the
         // oldest session can always reclaim, so no one starves).
         if phase.decode() {
-            let mut decoding: Vec<RequestId> = self.queues[qi]
-                .decoding
-                .iter()
-                .copied()
-                .filter(|&id| self.eligible_on(id, now, pool))
-                .collect();
+            let mut decoding = std::mem::take(&mut self.scratch_ids);
+            decoding.clear();
+            decoding.extend(
+                self.queues[qi]
+                    .decoding
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.eligible_on(id, now, pool)),
+            );
             if decode_order == DecodeOrder::RoundRobin && !decoding.is_empty() {
                 if let Some(&last) = self.queues[qi].last_decode.get(&pool) {
                     // Start with the oldest session strictly after the last
@@ -907,7 +937,8 @@ impl Scheduler {
                 }
             }
             let mut last_granted = None;
-            for id in decoding {
+            for k in 0..decoding.len() {
+                let id = decoding[k];
                 if items.len() >= max_batch || tokens >= token_budget {
                     break;
                 }
@@ -925,7 +956,7 @@ impl Scheduler {
                         pool,
                         id,
                         need,
-                        &in_batch,
+                        &items,
                         &mut evicted_pages,
                         &mut swapped_out,
                     ) {
@@ -933,10 +964,10 @@ impl Scheduler {
                     }
                 }
                 items.push(BatchItem { id, phase: Phase::Decode, tokens: 1, context_len });
-                in_batch.insert(id);
                 last_granted = Some(id);
                 tokens += 1;
             }
+            self.scratch_ids = decoding;
             if let Some(last) = last_granted {
                 self.queues[qi].last_decode.insert(pool, last);
             }
@@ -948,20 +979,24 @@ impl Scheduler {
         // free pages fall short of its projected need — and defers the rest
         // of the queue with it, so admission keeps strict policy order.
         if phase.prefill() {
-            let mut waiting: Vec<RequestId> = self.queues[qi]
-                .waiting
-                .iter()
-                .copied()
-                .filter(|&id| self.eligible_on(id, now, pool))
-                .collect();
+            let mut waiting = std::mem::take(&mut self.scratch_ids);
+            waiting.clear();
+            waiting.extend(
+                self.queues[qi]
+                    .waiting
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.eligible_on(id, now, pool)),
+            );
             if policy == SchedulingPolicy::ShortestPrefillFirst {
                 waiting.sort_by_key(|&id| (self.sessions[self.sidx(id)].remaining_prefill(), id));
             }
-            for id in waiting {
+            for k in 0..waiting.len() {
+                let id = waiting[k];
                 if items.len() >= max_batch || tokens >= token_budget {
                     break;
                 }
-                if in_batch.contains(&id) {
+                if items.iter().any(|it| it.id == id) {
                     continue;
                 }
                 let s = &self.sessions[self.sidx(id)];
@@ -989,7 +1024,7 @@ impl Scheduler {
                         pool,
                         id,
                         need,
-                        &in_batch,
+                        &items,
                         &mut evicted_pages,
                         &mut swapped_out,
                     ) {
@@ -997,13 +1032,19 @@ impl Scheduler {
                     }
                 }
                 items.push(BatchItem { id, phase: Phase::Prefill, tokens: chunk, context_len });
-                in_batch.insert(id);
                 tokens += chunk;
             }
+            self.scratch_ids = waiting;
         }
 
         debug_assert!(tokens <= token_budget, "token budget exceeded");
         self.evicted_pages += evicted_pages as u64;
+        if items.is_empty() {
+            // Nothing formed: hand the (possibly warm) vector straight back
+            // to the free list instead of dropping its capacity.
+            self.spare_items.push(items);
+            return (Vec::new(), evicted_pages, swapped_out);
+        }
         (items, evicted_pages, swapped_out)
     }
 
@@ -1025,7 +1066,7 @@ impl Scheduler {
         pool: usize,
         id: RequestId,
         need: usize,
-        in_batch: &HashSet<RequestId>,
+        in_batch: &[BatchItem],
         evicted_pages: &mut usize,
         swapped_out: &mut Vec<SwapOut>,
     ) -> bool {
@@ -1054,7 +1095,7 @@ impl Scheduler {
                     s.page_table.home() == Some(pool)
                         && v > id
                         && !self.in_flight.contains(&v)
-                        && !in_batch.contains(&v)
+                        && !in_batch.iter().any(|it| it.id == v)
                 })
                 .collect();
             candidates.sort_unstable_by(|a, b| b.cmp(a));
@@ -1203,6 +1244,20 @@ impl Scheduler {
     /// and release their KV pages. Every session of the batch leaves the
     /// in-flight set and becomes schedulable again at `end_cycle`.
     ///
+    /// Hands a completed micro-batch's allocations back for reuse: the next
+    /// formation pops its items vector off a free list instead of
+    /// allocating. Purely an optimization — dropping the batch instead is
+    /// always correct. The free list is capped at the executor's plausible
+    /// in-flight depth so a burst never pins memory.
+    pub fn recycle(&mut self, batch: MicroBatch) {
+        const SPARE_CAP: usize = 64;
+        if self.spare_items.len() < SPARE_CAP {
+            let mut items = batch.items;
+            items.clear();
+            self.spare_items.push(items);
+        }
+    }
+
     /// # Panics
     /// Panics if the batch references an id this scheduler did not issue.
     pub fn complete(&mut self, batch: &MicroBatch, end_cycle: u64) {
