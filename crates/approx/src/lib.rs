@@ -18,6 +18,7 @@
 //! All approximators implement the common [`Approximator`] trait so the
 //! accuracy sweeps in `mugi` can treat them uniformly.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -7,6 +7,8 @@
 //! transfers, so a configuration that becomes memory-bound is reported
 //! correctly instead of silently assuming compute-boundedness.
 
+// mugi-lint: allow(hot-path-panic, "all indexing is into fixed 3-slot per-resource arrays via Resource::index() (0..3 by construction) or into completions sized to the event list; a miss is an engine bug that must fail loudly, not a recoverable condition")
+
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -19,6 +21,18 @@ pub enum Resource {
     Memory,
     /// The NoC links.
     Noc,
+}
+
+impl Resource {
+    /// Slot of this resource in the fixed per-run state arrays, matching
+    /// declaration (= `Ord`) order without casting through the discriminant.
+    pub const fn index(self) -> usize {
+        match self {
+            Resource::Compute => 0,
+            Resource::Memory => 1,
+            Resource::Noc => 2,
+        }
+    }
 }
 
 /// All resources in declaration (= `Ord`) order, indexing the fixed per-run
@@ -109,7 +123,7 @@ impl EventEngine {
         let mut makespan = 0;
         let mut process = |idx: usize, completions: &mut Vec<u64>| {
             let e = self.events[idx];
-            let r = e.resource as usize;
+            let r = e.resource.index();
             let start = free[r].max(e.earliest_start);
             let end = start + e.duration;
             free[r] = end;
@@ -144,8 +158,8 @@ impl EventEngine {
             // resource, present only if the resource saw an event.
             busy: RESOURCES
                 .iter()
-                .filter(|&&r| used[r as usize])
-                .map(|&r| (r, busy[r as usize]))
+                .filter(|&&r| used[r.index()])
+                .map(|&r| (r, busy[r.index()]))
                 .collect(),
         };
         (schedule, completions)

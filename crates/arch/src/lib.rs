@@ -25,6 +25,7 @@
 //! * [`engine`] — a small event-driven simulation core used by the performance
 //!   model to order compute and memory events.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

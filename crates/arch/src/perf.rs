@@ -12,6 +12,7 @@ use crate::designs::Design;
 use crate::engine::{Event, EventEngine, Resource};
 use crate::hbm::Hbm;
 use crate::noc::NocConfig;
+use mugi_numerics::cast::{u64_from_f64, u64_from_usize};
 use mugi_workloads::ops::{GemmKind, OpTrace, WorkloadOp};
 use serde::{Deserialize, Serialize};
 
@@ -159,7 +160,7 @@ impl PerfModel {
                     });
                     // Weight / KV fetch from HBM (double buffered, so it only
                     // matters if it exceeds the compute time).
-                    let bytes = gemm.weight_bytes() * gemm.repeats as u64;
+                    let bytes = gemm.weight_bytes() * u64_from_usize(gemm.repeats);
                     let mem_cycles = self.hbm.transfer_cycles(bytes, cost.frequency_hz);
                     engine.submit(Event {
                         resource: Resource::Memory,
@@ -186,7 +187,7 @@ impl PerfModel {
 
         let (schedule, _) = engine.run();
         let layer_cycles = schedule.makespan;
-        let layers = trace.model.layers as u64;
+        let layers = u64_from_usize(trace.model.layers);
         let total_cycles = layer_cycles * layers;
         let memory_bound =
             schedule.busy_cycles(Resource::Memory) > schedule.busy_cycles(Resource::Compute);
@@ -242,11 +243,11 @@ impl PerfModel {
             .layer_ops
             .iter()
             .map(|op| match op {
-                WorkloadOp::Gemm(g) => g.activation_bytes() * g.repeats as u64,
+                WorkloadOp::Gemm(g) => g.activation_bytes() * u64_from_usize(g.repeats),
                 WorkloadOp::Nonlinear(_) => 0,
             })
             .sum::<u64>()
-            * trace.model.layers as u64;
+            * u64_from_usize(trace.model.layers);
         let noc_energy_pj = noc.transfer_energy_pj(noc_bytes, cost);
         let total_energy_pj =
             node.dynamic_energy_pj + node.hbm_energy_pj + leakage_pj + noc_energy_pj;
@@ -270,7 +271,7 @@ impl PerfModel {
             average_power_w,
             tokens_per_s_per_w,
             nodes: noc.nodes(),
-            effective_cycles: effective_cycles.ceil() as u64,
+            effective_cycles: u64_from_f64(effective_cycles.ceil()),
             noc_energy_pj,
             total_energy_pj,
             node,

@@ -66,6 +66,7 @@ struct Row {
 }
 
 fn run_per_step(count: usize) -> Row {
+    // mugi-lint: allow(ambient-nondeterminism, "wall-clock timing of the host run; measures the simulator, never feeds simulated state")
     let t0 = Instant::now();
     let mut ex =
         Executor::new(MugiAccelerator::new(64), Scheduler::new(SchedulerConfig::default()));
@@ -83,6 +84,7 @@ fn run_per_step(count: usize) -> Row {
 }
 
 fn run_event_presubmitted(count: usize) -> Row {
+    // mugi-lint: allow(ambient-nondeterminism, "wall-clock timing of the host run; measures the simulator, never feeds simulated state")
     let t0 = Instant::now();
     let mut ev = engine();
     for r in WorkloadStream::new(SEED, &[MODEL], spec()).take(count) {
@@ -99,6 +101,7 @@ fn run_event_presubmitted(count: usize) -> Row {
 }
 
 fn run_event_folded(count: usize) -> (Row, ScaleReport) {
+    // mugi-lint: allow(ambient-nondeterminism, "wall-clock timing of the host run; measures the simulator, never feeds simulated state")
     let t0 = Instant::now();
     let mut ev = engine();
     let report = ev.run_stream_folded(WorkloadStream::new(SEED, &[MODEL], spec()).take(count));

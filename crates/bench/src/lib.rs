@@ -5,6 +5,10 @@
 //! the Criterion benches in `benches/` measure the reproduction's own kernels
 //! and experiment drivers.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
 use mugi::experiments::Preset;
 
 /// Parses the experiment preset from the process arguments: `--quick` selects

@@ -14,6 +14,7 @@
 //! standalone nonlinear vector arrays (less area → less embodied carbon) and
 //! its multiplier-free VLP datapath lowers energy (less operational carbon).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

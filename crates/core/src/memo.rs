@@ -103,14 +103,19 @@ impl<K, V: Clone> ShapeCache<K, V> {
     /// steady-state shapes — survives, unlike the wholesale `clear()` this
     /// replaces.
     fn evict_lru_half(&mut self) {
-        let mut ticks: Vec<u64> =
-            self.buckets.values().flat_map(|bucket| bucket.iter().map(|s| s.last_use)).collect();
+        let mut ticks: Vec<u64> = self
+            .buckets
+            .values() // mugi-lint: allow(unordered-iteration, "select_nth_unstable finds the median tick; any visit order yields the same threshold")
+            .flat_map(|bucket| bucket.iter().map(|s| s.last_use))
+            .collect();
         let mid = ticks.len() / 2;
         let (_, &mut threshold, _) = ticks.select_nth_unstable(mid);
+        // mugi-lint: allow(unordered-iteration, "retain applies a pure per-entry predicate; the surviving set is order-independent")
         self.buckets.retain(|_, bucket| {
             bucket.retain(|s| s.last_use >= threshold);
             !bucket.is_empty()
         });
+        // mugi-lint: allow(unordered-iteration, "commutative usize sum over bucket lengths")
         self.len = self.buckets.values().map(Vec::len).sum();
     }
 }

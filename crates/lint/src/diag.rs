@@ -1,0 +1,233 @@
+//! Diagnostic rendering: rustc-style human output, a per-rule summary table
+//! and a hand-rolled `--json` report (the linter is zero-dependency, so no
+//! serde here — same approach as the workspace's `scale_sweep --json`).
+
+use crate::rules::{FileReport, Finding, Rule};
+
+/// Renders one finding rustc-style, with the offending source line excerpt
+/// and a caret span.
+///
+/// ```text
+/// error[unordered-iteration]: `.values()` on `buckets` (a HashMap/HashSet) …
+///   --> crates/core/src/memo.rs:107:34
+///    |
+/// 107 |         let mut ticks: Vec<u64> = self.buckets.values()…
+///    |                                                 ^^^^^^
+///    = help: iterate a sorted view …
+/// ```
+pub fn render_human(f: &Finding, src: &str) -> String {
+    let line_text = src.lines().nth(f.line as usize - 1).unwrap_or("");
+    let gutter = f.line.to_string();
+    let pad = " ".repeat(gutter.len());
+    let caret_pad: String = line_text
+        .chars()
+        .scan(0u32, |col, c| {
+            *col += c.len_utf8() as u32;
+            Some(if *col < f.col {
+                if c == '\t' {
+                    '\t'
+                } else {
+                    ' '
+                }
+            } else {
+                '\0'
+            })
+        })
+        .take_while(|&c| c != '\0')
+        .collect();
+    let carets = "^".repeat((f.len as usize).clamp(1, 40));
+    let severity = if f.allowed.is_some() { "allowed" } else { "error" };
+    let mut out = format!(
+        "{severity}[{}]: {}\n{pad}--> {}:{}:{}\n{pad} |\n{gutter} | {}\n{pad} | {caret_pad}{carets}\n",
+        f.rule.id(),
+        f.message,
+        f.file,
+        f.line,
+        f.col,
+        line_text,
+    );
+    if let Some(reason) = &f.allowed {
+        out.push_str(&format!("{pad} = allowed: {reason}\n"));
+    } else {
+        out.push_str(&format!("{pad} = help: {}\n", f.rule.help()));
+        out.push_str(&format!(
+            "{pad} = note: suppress with `// mugi-lint: allow({}, \"reason\")` on this line, \
+             the line above, or the module header\n",
+            f.rule.id()
+        ));
+    }
+    out
+}
+
+/// Per-rule violation/allow counts plus totals.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RuleCounts {
+    /// Unsuppressed findings.
+    pub violations: u64,
+    /// Findings suppressed by a justified allow.
+    pub allowed: u64,
+}
+
+/// Aggregated counts across a set of file reports.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    /// Counts per rule, in [`Rule::ALL`] order.
+    pub per_rule: [RuleCounts; Rule::ALL.len()],
+    /// Total files scanned.
+    pub files: u64,
+    /// Well-formed allow comments seen.
+    pub allows: u64,
+    /// Allow comments that suppressed nothing (stale).
+    pub unused_allows: u64,
+    /// Malformed suppression comments.
+    pub malformed: u64,
+}
+
+impl Summary {
+    /// Folds one file report into the counts.
+    pub fn add(&mut self, report: &FileReport) {
+        self.files += 1;
+        for f in &report.findings {
+            let slot = Rule::ALL.iter().position(|&r| r == f.rule).unwrap_or(0);
+            if f.allowed.is_some() {
+                self.per_rule[slot].allowed += 1;
+            } else {
+                self.per_rule[slot].violations += 1;
+            }
+        }
+        self.allows += report.allows.len() as u64;
+        self.unused_allows += report.allows.iter().filter(|a| a.used == 0).count() as u64;
+        self.malformed += report.malformed.len() as u64;
+    }
+
+    /// Total unsuppressed violations.
+    pub fn violations(&self) -> u64 {
+        self.per_rule.iter().map(|c| c.violations).sum()
+    }
+
+    /// Total suppressed findings.
+    pub fn allowed(&self) -> u64 {
+        self.per_rule.iter().map(|c| c.allowed).sum()
+    }
+
+    /// Renders the self-report summary table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<28} {:>10} {:>10}\n", "rule", "violations", "allowed"));
+        for (slot, rule) in Rule::ALL.iter().enumerate() {
+            let c = self.per_rule[slot];
+            out.push_str(&format!("{:<28} {:>10} {:>10}\n", rule.id(), c.violations, c.allowed));
+        }
+        out.push_str(&format!(
+            "{:<28} {:>10} {:>10}\n",
+            "total",
+            self.violations(),
+            self.allowed()
+        ));
+        out.push_str(&format!(
+            "files scanned: {}   allows: {} ({} unused)   malformed allows: {}\n",
+            self.files, self.allows, self.unused_allows, self.malformed
+        ));
+        out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the whole run as a JSON document: summary, findings (suppressed
+/// included, with reasons), stale and malformed allows.
+pub fn render_json(reports: &[(String, FileReport)], summary: &Summary) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", summary.files));
+    out.push_str(&format!(
+        "  \"summary\": {{\"violations\": {}, \"allowed\": {}, \"unused_allows\": {}, \
+         \"malformed_allows\": {}, \"per_rule\": {{",
+        summary.violations(),
+        summary.allowed(),
+        summary.unused_allows,
+        summary.malformed
+    ));
+    for (slot, rule) in Rule::ALL.iter().enumerate() {
+        let c = summary.per_rule[slot];
+        out.push_str(&format!(
+            "{}\"{}\": {{\"violations\": {}, \"allowed\": {}}}",
+            if slot == 0 { "" } else { ", " },
+            rule.id(),
+            c.violations,
+            c.allowed
+        ));
+    }
+    out.push_str("}},\n  \"findings\": [\n");
+    let mut first = true;
+    for (_, report) in reports {
+        for f in &report.findings {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
+                 \"message\": \"{}\", \"allowed\": {}, \"reason\": {}}}",
+                f.rule.id(),
+                json_escape(&f.file),
+                f.line,
+                f.col,
+                json_escape(&f.message),
+                f.allowed.is_some(),
+                match &f.allowed {
+                    Some(r) => format!("\"{}\"", json_escape(r)),
+                    None => "null".to_string(),
+                }
+            ));
+        }
+    }
+    out.push_str("\n  ],\n  \"unused_allows\": [\n");
+    let mut first = true;
+    for (path, report) in reports {
+        for a in report.allows.iter().filter(|a| a.used == 0) {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\"}}",
+                json_escape(path),
+                a.line,
+                a.rule.id()
+            ));
+        }
+    }
+    out.push_str("\n  ],\n  \"malformed_allows\": [\n");
+    let mut first = true;
+    for (_, report) in reports {
+        for m in &report.malformed {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"problem\": \"{}\"}}",
+                json_escape(&m.file),
+                m.line,
+                json_escape(&m.problem)
+            ));
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}

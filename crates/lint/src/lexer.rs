@@ -1,0 +1,458 @@
+//! A hand-rolled Rust lexer, just deep enough for token-stream linting.
+//!
+//! The goal is not to reimplement `rustc_lexer` but to tokenize real-world
+//! Rust source *reliably enough* that rule matching never fires inside a
+//! string literal or comment, and span information (line, column) is exact.
+//! The hard parts that actually matter for that are all here:
+//!
+//! * raw strings with arbitrary `#` depth (`r#"…"#`, `br##"…"##`),
+//! * nested block comments (`/* /* */ */`),
+//! * the `'a` lifetime vs `'a'` char-literal ambiguity (including escapes
+//!   and multi-byte chars),
+//! * raw identifiers (`r#match`), byte/char/C strings, numeric literals with
+//!   type suffixes and exponents, and a leading shebang line.
+//!
+//! Comments are produced as tokens (not skipped) because the rule engine
+//! reads `mugi-lint: allow(...)` suppressions out of them.
+
+/// The lexical class of one token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`for`, `HashMap`, `r#match`).
+    Ident,
+    /// A lifetime such as `'a` or `'_` (no closing quote).
+    Lifetime,
+    /// A character literal (`'a'`, `'\n'`, `'\u{1F600}'`) or byte literal
+    /// (`b'x'`).
+    Char,
+    /// A string literal of any flavour: `"…"`, `r#"…"#`, `b"…"`, `br"…"`,
+    /// `c"…"`.
+    Str,
+    /// A numeric literal, including any type suffix (`1_000u64`, `0xFF`,
+    /// `2.5e-3`).
+    Num,
+    /// A single punctuation byte (`.`, `:`, `[`, `!`, …). Multi-byte
+    /// operators arrive as consecutive tokens; rules match the sequence.
+    Punct,
+    /// `// …` (including `///` and `//!`), text up to the newline.
+    LineComment,
+    /// `/* … */` with nesting, text including delimiters.
+    BlockComment,
+    /// A `#!/usr/bin/env …` line at file start.
+    Shebang,
+}
+
+/// One token: kind plus the byte span and 1-based line/column of its start.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based byte column of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Whether `b` can start an identifier.
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+/// Whether `b` can continue an identifier.
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// The cursor state of one lexing pass.
+struct Lexer<'s> {
+    src: &'s [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer { src: src.as_bytes(), i: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.i + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining line/column counters.
+    fn bump(&mut self) {
+        if self.src[self.i] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.i += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Consumes bytes while `pred` holds.
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while self.peek(0).is_some_and(&pred) {
+            self.bump();
+        }
+    }
+
+    /// Consumes to (and including) the end of the current line.
+    fn eat_line(&mut self) {
+        while let Some(b) = self.peek(0) {
+            self.bump();
+            if b == b'\n' {
+                break;
+            }
+        }
+    }
+
+    /// Consumes a `/* … */` block comment with nesting, starting at `/*`.
+    fn eat_block_comment(&mut self) {
+        debug_assert_eq!((self.peek(0), self.peek(1)), (Some(b'/'), Some(b'*')));
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break, // unterminated: tolerate, token ends at EOF
+            }
+        }
+    }
+
+    /// Consumes a `"…"` body (opening quote already pending), honouring
+    /// backslash escapes.
+    fn eat_quoted(&mut self) {
+        debug_assert_eq!(self.peek(0), Some(b'"'));
+        self.bump();
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump_n(if self.peek(1).is_some() { 2 } else { 1 }),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a raw-string body starting at the `r` (after any `b`): `r`,
+    /// `n` hashes, `"`, text, `"`, `n` hashes.
+    fn eat_raw_string(&mut self) {
+        debug_assert_eq!(self.peek(0), Some(b'r'));
+        self.bump();
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some(b'"') {
+            return; // not actually a raw string; tolerate
+        }
+        self.bump();
+        'scan: while let Some(b) = self.peek(0) {
+            self.bump();
+            if b == b'"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some(b'#') {
+                        continue 'scan;
+                    }
+                }
+                self.bump_n(hashes);
+                return;
+            }
+        }
+    }
+
+    /// Consumes a char or byte literal starting at the `'`.
+    fn eat_char_literal(&mut self) {
+        debug_assert_eq!(self.peek(0), Some(b'\''));
+        self.bump();
+        if self.peek(0) == Some(b'\\') {
+            self.bump();
+            if self.peek(0).is_some() {
+                self.bump(); // the escaped byte ('\'' / '\\' / '\u', …)
+            }
+            // `\u{…}` payload
+            if self.peek(0) == Some(b'{') {
+                self.eat_while(|b| b != b'}');
+                if self.peek(0).is_some() {
+                    self.bump();
+                }
+            }
+        } else if self.peek(0).is_some() {
+            self.bump(); // first byte of the char (multi-byte chars: rest below)
+        }
+        self.eat_while(|b| b != b'\'');
+        if self.peek(0).is_some() {
+            self.bump(); // closing quote
+        }
+    }
+
+    /// Consumes a numeric literal starting at a digit, suffix included.
+    fn eat_number(&mut self) {
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x') | Some(b'o') | Some(b'b'))
+        {
+            self.bump_n(2);
+            self.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+            return;
+        }
+        self.eat_while(|b| b.is_ascii_digit() || b == b'_');
+        // Fractional part: only if the dot is followed by a digit, so `1..4`
+        // and `1.max(2)` keep their dots as punctuation.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+            self.eat_while(|b| b.is_ascii_digit() || b == b'_');
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some(b'e') | Some(b'E')) {
+            let sign = usize::from(matches!(self.peek(1), Some(b'+') | Some(b'-')));
+            if self.peek(1 + sign).is_some_and(|b| b.is_ascii_digit()) {
+                self.bump_n(1 + sign);
+                self.eat_while(|b| b.is_ascii_digit() || b == b'_');
+            }
+        }
+        // Type suffix (`u64`, `f32`, …) — also swallows a stray `e` that
+        // didn't form an exponent, matching rustc's token boundaries closely
+        // enough for linting.
+        self.eat_while(is_ident_continue);
+    }
+}
+
+/// Tokenizes `src`. Never fails: malformed input degrades to best-effort
+/// tokens rather than an error, which is the right trade for a linter that
+/// runs on code `rustc` will also see.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer::new(src);
+    let mut tokens = Vec::new();
+    // Shebang: `#!` at byte 0 not followed by `[` (which would be an inner
+    // attribute).
+    if lx.peek(0) == Some(b'#') && lx.peek(1) == Some(b'!') && lx.peek(2) != Some(b'[') {
+        let (line, col) = (lx.line, lx.col);
+        let start = lx.i;
+        lx.eat_line();
+        tokens.push(Token { kind: TokenKind::Shebang, start, end: lx.i, line, col });
+    }
+    while let Some(b) = lx.peek(0) {
+        if b.is_ascii_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let (line, col) = (lx.line, lx.col);
+        let start = lx.i;
+        let kind = match b {
+            b'/' if lx.peek(1) == Some(b'/') => {
+                lx.eat_line();
+                TokenKind::LineComment
+            }
+            b'/' if lx.peek(1) == Some(b'*') => {
+                lx.eat_block_comment();
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                lx.eat_quoted();
+                TokenKind::Str
+            }
+            b'r' if lx.peek(1) == Some(b'"') => {
+                lx.eat_raw_string();
+                TokenKind::Str
+            }
+            b'r' if lx.peek(1) == Some(b'#') => {
+                // `r#"…"#` raw string vs `r#ident` raw identifier.
+                if lx.peek(2) == Some(b'"') || lx.peek(2) == Some(b'#') {
+                    lx.eat_raw_string();
+                    TokenKind::Str
+                } else {
+                    lx.bump_n(2);
+                    lx.eat_while(is_ident_continue);
+                    TokenKind::Ident
+                }
+            }
+            b'b' | b'c' if lx.peek(1) == Some(b'"') => {
+                lx.bump();
+                lx.eat_quoted();
+                TokenKind::Str
+            }
+            b'b' if lx.peek(1) == Some(b'r') && matches!(lx.peek(2), Some(b'"') | Some(b'#')) => {
+                lx.bump();
+                lx.eat_raw_string();
+                TokenKind::Str
+            }
+            b'b' if lx.peek(1) == Some(b'\'') => {
+                lx.bump();
+                lx.eat_char_literal();
+                TokenKind::Char
+            }
+            b'\'' => {
+                // Lifetime vs char literal. `'X` where `X` is an identifier
+                // char is a lifetime *unless* the identifier is exactly one
+                // char long and followed by a closing `'` (then it's `'a'`).
+                // A non-ASCII byte after the quote can only start a char
+                // literal (lifetimes are ASCII identifiers in practice).
+                let second = lx.peek(1);
+                let second_is_ident = second.is_some_and(|b| is_ident_start(b) && b < 0x80);
+                if second_is_ident && lx.peek(2) != Some(b'\'') {
+                    lx.bump(); // the quote
+                    lx.eat_while(is_ident_continue);
+                    TokenKind::Lifetime
+                } else if second_is_ident && lx.peek(2) == Some(b'\'') {
+                    lx.bump_n(3); // 'a'
+                    TokenKind::Char
+                } else {
+                    lx.eat_char_literal();
+                    TokenKind::Char
+                }
+            }
+            b if b.is_ascii_digit() => {
+                lx.eat_number();
+                TokenKind::Num
+            }
+            b if is_ident_start(b) => {
+                lx.eat_while(is_ident_continue);
+                TokenKind::Ident
+            }
+            _ => {
+                lx.bump();
+                TokenKind::Punct
+            }
+        };
+        tokens.push(Token { kind, start, end: lx.i, line, col });
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).map(|(_, t)| t).collect();
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).map(|(_, t)| t).collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        assert_eq!(chars, ["'a'", "'\\n'"]);
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let src = r####"let s = r#"HashMap.iter() "quoted" unwrap()"#; let x = 1;"####;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("HashMap") && t.contains("quoted")));
+        // Nothing inside the raw string leaked out as an identifier.
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
+        assert_eq!(toks.last().map(|(_, t)| t.as_str()), Some(";"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let toks = kinds(src);
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "a".into()),
+                (TokenKind::BlockComment, "/* outer /* inner */ still comment */".into()),
+                (TokenKind::Ident, "b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn shebang_only_at_file_start() {
+        let toks = kinds("#!/usr/bin/env rust\nfn main() {}");
+        assert_eq!(toks[0].0, TokenKind::Shebang);
+        // An inner attribute is *not* a shebang.
+        let toks = kinds("#![forbid(unsafe_code)]");
+        assert_eq!(toks[0], (TokenKind::Punct, "#".into()));
+    }
+
+    #[test]
+    fn numeric_literals_keep_suffixes() {
+        let toks = kinds("1_000u64 0xFFu8 2.5e-3f32 1..4 7.max(2)");
+        let nums: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Num).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(nums, ["1_000u64", "0xFFu8", "2.5e-3f32", "1", "4", "7", "2"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#match = r#\"raw\"#;");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t == "r#\"raw\"#"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds("b\"bytes\" br#\"raw bytes\"# b'x' c\"cstr\"");
+        let strs = toks.iter().filter(|(k, _)| *k == TokenKind::Str).count();
+        assert_eq!(strs, 3);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "b'x'"));
+    }
+
+    #[test]
+    fn spans_are_line_and_col_accurate() {
+        let src = "fn main() {\n    let x = 1;\n}\n";
+        let toks = lex(src);
+        let x = toks.iter().find(|t| t.text(src) == "x").unwrap();
+        assert_eq!((x.line, x.col), (2, 9));
+        let one = toks.iter().find(|t| t.text(src) == "1").unwrap();
+        assert_eq!((one.line, one.col), (2, 13));
+        let close = toks.iter().rev().find(|t| t.text(src) == "}").unwrap();
+        assert_eq!((close.line, close.col), (3, 1));
+    }
+
+    #[test]
+    fn multibyte_char_literal_and_unicode_escape() {
+        let toks = kinds("let a = 'é'; let b = '\\u{1F600}'; let c: &'static str = \"s\";");
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(chars, ["'é'", "'\\u{1F600}'"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'static"));
+    }
+
+    #[test]
+    fn escaped_quote_in_string_does_not_end_it() {
+        let toks = kinds(r#"let s = "he said \"hi\" loudly"; x"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t == r#""he said \"hi\" loudly""#));
+        assert_eq!(toks.last().map(|(_, t)| t.as_str()), Some("x"));
+    }
+}

@@ -1,0 +1,40 @@
+//! `mugi-lint` — the workspace determinism & hot-path hygiene analyzer.
+//!
+//! Every claim this reproduction makes rests on *bit-identity*: golden
+//! fingerprints via `to_bits`, FNV-1a fold checksums, oracle-vs-event
+//! property tests. This crate statically enforces the coding contracts that
+//! bit-identity depends on, at CI time instead of at golden-mismatch time:
+//!
+//! * **unordered-iteration** — no iteration over `HashMap`/`HashSet` in the
+//!   simulation crates (iteration order feeds FP-sum order and batch
+//!   formation);
+//! * **ambient-nondeterminism** — no `Instant::now` / `SystemTime` /
+//!   `thread_rng` / `RandomState` feeding simulated state;
+//! * **float-accumulation-order** — no float `sum`/`fold` over an unordered
+//!   source;
+//! * **lossy-cast** — no narrowing / sign-crossing / float→int `as` casts in
+//!   the cycle/byte-accounting hot path;
+//! * **hot-path-panic** — no `unwrap`/`expect`/`panic!`/indexing in the
+//!   serving hot path files.
+//!
+//! Suppression is explicit and auditable: a
+//! `// mugi-lint: allow(rule-id, "reason")` comment on the offending line
+//! (or in the module header, for file scope) suppresses a finding, and the
+//! mandatory reason string is carried into the report. Stale and malformed
+//! allows are reported too, so the suppression surface cannot rot silently.
+//!
+//! The implementation is a hand-rolled Rust [`lexer`] (raw strings, nested
+//! block comments, char-vs-lifetime disambiguation) plus a token-stream
+//! [`rules`] engine with span-accurate [`diag`]nostics, human and `--json`
+//! output, and a `--deny` exit-code mode wired into CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::{render_human, render_json, Summary};
+pub use rules::{analyze_file, FileReport, Finding, Rule};

@@ -1,0 +1,131 @@
+//! The `mugi-lint` command-line driver: walks the workspace sources, runs
+//! the rule engine and renders diagnostics.
+//!
+//! ```text
+//! mugi-lint [PATHS…] [--json] [--deny] [--quiet]
+//! ```
+//!
+//! * `PATHS` — files or directories to scan (default: `crates`, `examples`,
+//!   `tests` under the current directory). Directories named `target`,
+//!   `vendor`, `.git` or `fixtures` are skipped.
+//! * `--json` — emit the machine-readable report on stdout instead of
+//!   rustc-style diagnostics.
+//! * `--deny` — exit non-zero if any unsuppressed violation (or malformed
+//!   allow) remains: the CI mode.
+//! * `--quiet` — suppress per-finding output, print only the summary table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mugi_lint::diag::{render_human, render_json, Summary};
+use mugi_lint::rules::analyze_file;
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", "fixtures", "node_modules"];
+
+/// Recursively collects `.rs` files under `path`, sorted for deterministic
+/// output (the linter practices what it preaches: `read_dir` order is
+/// OS-arbitrary).
+fn collect_rs_files(path: &Path, out: &mut Vec<PathBuf>) {
+    if path.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return;
+    }
+    let Ok(entries) = std::fs::read_dir(path) else { return };
+    let mut children: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    children.sort();
+    for child in children {
+        let name = child.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if child.is_dir() && SKIP_DIRS.contains(&name) {
+            continue;
+        }
+        collect_rs_files(&child, out);
+    }
+}
+
+fn main() -> ExitCode {
+    let mut roots: Vec<PathBuf> = Vec::new();
+    let (mut json, mut deny, mut quiet) = (false, false, false);
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny" => deny = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: mugi-lint [PATHS…] [--json] [--deny] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => roots.push(PathBuf::from(other)),
+        }
+    }
+    if roots.is_empty() {
+        roots = ["crates", "examples", "tests"]
+            .iter()
+            .map(PathBuf::from)
+            .filter(|p| p.exists())
+            .collect();
+    }
+
+    let mut files = Vec::new();
+    for root in &roots {
+        collect_rs_files(root, &mut files);
+    }
+    files.sort();
+    files.dedup();
+
+    let mut reports = Vec::new();
+    let mut summary = Summary::default();
+    let mut human = String::new();
+    for file in &files {
+        let Ok(src) = std::fs::read_to_string(file) else {
+            eprintln!("mugi-lint: cannot read {}", file.display());
+            continue;
+        };
+        let rel = file.to_string_lossy().replace('\\', "/");
+        let report = analyze_file(&rel, &src);
+        summary.add(&report);
+        if !json && !quiet {
+            for f in report.findings.iter().filter(|f| f.allowed.is_none()) {
+                human.push_str(&render_human(f, &src));
+                human.push('\n');
+            }
+            for m in &report.malformed {
+                human.push_str(&format!(
+                    "error[malformed-allow]: {}\n --> {}:{}\n\n",
+                    m.problem, m.file, m.line
+                ));
+            }
+            for a in report.allows.iter().filter(|a| a.used == 0) {
+                human.push_str(&format!(
+                    "warning[stale-allow]: allow({}) suppresses nothing\n --> {}:{}\n\n",
+                    a.rule.id(),
+                    rel,
+                    a.line
+                ));
+            }
+        }
+        reports.push((rel, report));
+    }
+
+    if json {
+        print!("{}", render_json(&reports, &summary));
+    } else {
+        print!("{human}");
+        print!("{}", summary.render_table());
+    }
+
+    let failing = summary.violations() + summary.malformed;
+    if deny && failing > 0 {
+        if !json {
+            eprintln!("mugi-lint: --deny: {failing} unsuppressed violation(s)");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

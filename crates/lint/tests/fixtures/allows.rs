@@ -1,0 +1,23 @@
+//! Fixture: suppression comments in every placement, plus malformed ones.
+// mugi-lint: allow(lossy-cast, "module-wide: counters here are bounded by construction")
+
+pub fn narrow(cycles: u64) -> usize {
+    cycles as usize
+}
+
+pub fn shrink(pages: u64) -> u32 {
+    // mugi-lint: allow(ambient-nondeterminism, "stale: nothing here reads a clock")
+    pages as u32
+}
+
+pub fn checked(total: u64) -> u32 {
+    // mugi-lint: allow(lossy-cast, "line-above: total is below 2^32 by construction")
+    total as u32
+}
+
+pub fn wall() -> std::time::Instant {
+    std::time::Instant::now() // mugi-lint: allow(ambient-nondeterminism, "trailing: measures the host, not the simulation")
+}
+
+// mugi-lint: allow(bogus-rule, "unknown id")
+// mugi-lint: allow(hot-path-panic)

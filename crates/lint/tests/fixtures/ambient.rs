@@ -1,0 +1,11 @@
+//! Known-bad fixture: ambient clocks and OS entropy.
+
+pub fn wall_clock_ns() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+pub fn os_seeded() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture: float accumulation over an unordered source.
+use std::collections::HashMap;
+
+pub fn total_mass(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().copied().sum::<f64>()
+}

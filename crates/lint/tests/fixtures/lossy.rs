@@ -1,0 +1,17 @@
+//! Known-bad fixture: narrowing and truncating `as` casts on counters.
+
+pub fn narrow(cycles: u64) -> usize {
+    cycles as usize
+}
+
+pub fn truncate(ratio: f64) -> u64 {
+    ratio as u64
+}
+
+pub fn widen(pages: u32) -> u64 {
+    pages as u64
+}
+
+pub fn id_field(id: (u64, u32)) -> usize {
+    id.0 as usize
+}

@@ -1,0 +1,17 @@
+//! Known-bad fixture: panic family and indexing in a hot-path file.
+
+pub fn first(xs: &[u64]) -> u64 {
+    xs[0]
+}
+
+pub fn must(opt: Option<u64>) -> u64 {
+    opt.unwrap()
+}
+
+pub fn explain(opt: Option<u64>) -> u64 {
+    opt.expect("must be present")
+}
+
+pub fn boom() -> ! {
+    panic!("hot path")
+}

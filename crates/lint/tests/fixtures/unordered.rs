@@ -1,0 +1,24 @@
+//! Known-bad fixture: observing HashMap iteration order in a sim crate.
+use std::collections::HashMap;
+
+pub fn snapshot(counts: &HashMap<String, u64>) -> Vec<u64> {
+    counts.values().copied().collect()
+}
+
+pub fn drain_all(counts: &mut HashMap<String, u64>) -> u64 {
+    let mut total = 0;
+    for (_key, value) in counts.drain() {
+        total += value;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn iteration_in_test_code_is_not_flagged() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u32, 2u32);
+        for _ in m.iter() {}
+    }
+}

@@ -31,10 +31,12 @@
 //! assert!((silu(1.5) - 1.5 / (1.0 + (-1.5f32).exp())).abs() < 1e-6);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod bf16;
+pub mod cast;
 pub mod error;
 pub mod exec;
 pub mod fields;

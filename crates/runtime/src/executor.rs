@@ -34,6 +34,8 @@
 //! attended KV as well — a 4096-context decode slot costs more than a
 //! 64-context one.
 
+// mugi-lint: allow(hot-path-panic, "unwrap/expect/indexing here assert documented invariants — dense session ids validated by aidx(), placements that exist for every admitted request, stats present for live sessions; violating them means the simulation state is corrupt and continuing would silently skew results")
+
 use crate::kv::AdmissionError;
 use crate::placement::{NodePool, Placement, PlacementPolicy, PoolRole};
 use crate::request::{Request, RequestId, Session, SessionState};
@@ -41,6 +43,7 @@ use crate::scheduler::{BatchItem, MicroBatch, PhaseFilter, Scheduler};
 use crate::stats::{KvStats, Percentiles, RequestStats, RuntimeReport};
 use mugi::arch::cost::CostModel;
 use mugi::MugiAccelerator;
+use mugi_numerics::cast::{u64_from_usize, usize_from_u64};
 use mugi_workloads::ops::{BatchSlice, Phase};
 use serde::{Deserialize, Serialize};
 
@@ -365,7 +368,7 @@ impl Executor {
 
     /// Accounting slot of session `id`.
     fn aidx(&self, id: RequestId) -> usize {
-        (id.0 as usize).checked_sub(self.acct_base).expect("accounting slot was retired")
+        usize_from_u64(id.0).checked_sub(self.acct_base).expect("accounting slot was retired")
     }
 
     /// Index (into `in_flight`) of the earliest-finishing pending batch.
@@ -617,7 +620,7 @@ impl Executor {
                     // to the executing node and the produced activations
                     // ride the same links back.
                     let bytes = 2 * (batch.total_tokens() * batch.model.config().hidden_dim * 2);
-                    let noc_e = noc.transfer_energy_pj(bytes as u64, &self.cost);
+                    let noc_e = noc.transfer_energy_pj(u64_from_usize(bytes), &self.cost);
                     (cycles, energy, noc_e, perf.node.energy_breakdown.attention)
                 }
                 PlacementPolicy::Sharded => {
@@ -633,7 +636,7 @@ impl Executor {
         // fault cost per evicted page, on top of the victims' much larger
         // recompute cost (paid when their prefills re-execute). Unbounded
         // pools never evict, so this is exactly zero there.
-        let stall_cycles = batch.evicted_pages as u64 * self.config.fault_stall_cycles;
+        let stall_cycles = u64_from_usize(batch.evicted_pages) * self.config.fault_stall_cycles;
         self.fault_stall_cycles += stall_cycles;
         // Swap-outs stall the step while the victims' KV streams out over
         // the NoC; each victim is charged the transfer energy and queued to
@@ -735,7 +738,8 @@ impl Executor {
                 requests.push(stats);
             }
         }
-        let total_output_tokens: u64 = requests.iter().map(|r| r.output_tokens as u64).sum();
+        let total_output_tokens: u64 =
+            requests.iter().map(|r| u64_from_usize(r.output_tokens)).sum();
         let makespan_s = to_s(self.clock_cycles);
         let ttft = Percentiles::of(&requests.iter().map(|r| r.ttft_s).collect::<Vec<_>>());
         let tpot = Percentiles::of(

@@ -36,6 +36,7 @@
 //! * a table always maps at least [`pages_for`]`(kv_len)` pages while its
 //!   session is live.
 
+use mugi_numerics::cast::{u32_from_usize, usize_from_u64};
 use mugi_workloads::models::ModelId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -164,7 +165,7 @@ impl KvConfig {
         let page_bytes = model.config().kv_cache_bytes(page_tokens, KV_BITS).max(1);
         let pages = node_kv_bytes / page_bytes;
         assert!(pages > 0, "KV budget of {node_kv_bytes} B holds less than one page");
-        KvConfig::bounded(page_tokens, pages as usize)
+        KvConfig::bounded(page_tokens, usize_from_u64(pages))
     }
 
     /// Sets the admission bound on concurrently live sessions.
@@ -275,7 +276,7 @@ impl KvPool {
     pub fn bounded(capacity: usize) -> Self {
         assert!(capacity > 0, "a KV pool needs at least one page");
         // Reversed so page p0 is handed out first (LIFO free list).
-        let free = (0..capacity as u32).rev().map(PageId).collect();
+        let free = (0..u32_from_usize(capacity)).rev().map(PageId).collect();
         KvPool { capacity, free, peak_used: 0 }
     }
 

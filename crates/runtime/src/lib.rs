@@ -58,6 +58,7 @@
 //! assert!(report.requests.iter().all(|r| r.ttft_s > 0.0));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -7,6 +7,7 @@
 //! latency milestones (first token, completion) the report is built from.
 
 use crate::kv::PageTable;
+use mugi_numerics::cast::usize_from_u64;
 use mugi_workloads::models::ModelId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -219,7 +220,7 @@ impl SessionArena {
     /// `retired_count() + live().len()`.
     pub fn push(&mut self, session: Session) {
         debug_assert_eq!(
-            session.id.0 as usize,
+            usize_from_u64(session.id.0),
             self.retired + self.live().len(),
             "arena ids must stay dense and in submission order"
         );
@@ -286,7 +287,11 @@ impl SessionArena {
     pub fn assert_invariants(&self) {
         assert!(self.head <= self.slots.len(), "head may not pass the end");
         for (i, s) in self.live().iter().enumerate() {
-            assert_eq!(s.id.0 as usize, self.retired + i, "live slot {i} aliases the wrong id");
+            assert_eq!(
+                usize_from_u64(s.id.0),
+                self.retired + i,
+                "live slot {i} aliases the wrong id"
+            );
         }
     }
 }

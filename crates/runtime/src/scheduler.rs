@@ -79,13 +79,16 @@
 //! pre-rotation behaviour kept as an explicit opt-out (and as the oracle for
 //! the bit-identity regression tests).
 
+// mugi-lint: allow(hot-path-panic, "panics here enforce documented API contracts (submit after finish, retired-session access) and scheduler invariants (dense ids via sidx(), page-table/pool consistency); a deterministic simulator must abort on corrupt state rather than guess")
+
 use crate::kv::{pages_for, AdmissionError, KvConfig, KvPool, PreemptionMode, SloConfig, KV_BITS};
 use crate::placement::PoolRole;
 use crate::request::{Request, RequestId, Session, SessionArena, SessionState};
+use mugi_numerics::cast::{u64_from_usize, usize_from_u64};
 use mugi_workloads::models::ModelId;
 use mugi_workloads::ops::{BatchSlice, Phase};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Order in which waiting prompts are admitted to the prefill share of a
 /// micro-batch.
@@ -313,8 +316,9 @@ struct ModelQueue {
     /// cursor (wrapping). The cursor must be per-pool — sessions are pinned
     /// to the pool holding their pages, so a cursor shared across pools
     /// would let interleaved per-pool formations rotate past another pool's
-    /// sessions and starve them.
-    last_decode: HashMap<usize, RequestId>,
+    /// sessions and starve them. A `BTreeMap` (pool count is tiny) so no
+    /// hasher state exists that could ever leak into iteration order.
+    last_decode: BTreeMap<usize, RequestId>,
 }
 
 impl ModelQueue {
@@ -324,7 +328,7 @@ impl ModelQueue {
             waiting: Vec::new(),
             decoding: Vec::new(),
             last_served: 0,
-            last_decode: HashMap::new(),
+            last_decode: BTreeMap::new(),
         }
     }
 }
@@ -369,8 +373,9 @@ pub struct Scheduler {
     future: VecDeque<(u64, RequestId)>,
     /// Sessions inside an emitted-but-not-yet-completed micro-batch. A
     /// multi-node executor overlaps several micro-batches; their sessions
-    /// must not be scheduled twice.
-    in_flight: HashSet<RequestId>,
+    /// must not be scheduled twice. A `BTreeSet` (bounded by the node count
+    /// times the batch bound) so membership never involves a hasher.
+    in_flight: BTreeSet<RequestId>,
     /// Sessions that have finished (retired from the queues). `all_finished`
     /// is a counter comparison, not a scan.
     retired: usize,
@@ -449,7 +454,7 @@ impl Scheduler {
             sessions: SessionArena::new(),
             queues: Vec::new(),
             future: VecDeque::new(),
-            in_flight: HashSet::new(),
+            in_flight: BTreeSet::new(),
             retired: 0,
             serve_counter: 0,
             preempted: 0,
@@ -471,7 +476,7 @@ impl Scheduler {
     /// # Panics
     /// Panics if the session was retired (or `id` was never issued).
     fn sidx(&self, id: RequestId) -> usize {
-        (id.0 as usize)
+        usize_from_u64(id.0)
             .checked_sub(self.sessions.retired_count())
             .expect("session was retired from the scheduler")
     }
@@ -587,9 +592,10 @@ impl Scheduler {
                 .sessions
                 .iter()
                 .filter(|s| !s.is_finished() && s.request.arrival_cycle <= request.arrival_cycle)
-                .map(|s| s.remaining_prefill() as u64)
+                .map(|s| u64_from_usize(s.remaining_prefill()))
                 .sum();
-            let projected = (backlog + request.prompt_tokens as u64) * cycles_per_prefill_token;
+            let projected =
+                (backlog + u64_from_usize(request.prompt_tokens)) * cycles_per_prefill_token;
             if projected > target_ttft_cycles {
                 self.rejected += 1;
                 return Err(AdmissionError::SloViolation {
@@ -598,7 +604,7 @@ impl Scheduler {
                 });
             }
         }
-        let id = RequestId((self.sessions.retired_count() + self.sessions.len()) as u64);
+        let id = RequestId(u64_from_usize(self.sessions.retired_count() + self.sessions.len()));
         self.sessions.push(Session::new(id, request));
         let arrival = request.arrival_cycle;
         if self.future.back().is_none_or(|&(a, _)| a <= arrival) {
@@ -693,12 +699,12 @@ impl Scheduler {
 
     /// Pages currently mapped across all pools.
     pub fn kv_used_pages(&self) -> u64 {
-        self.pools.iter().map(|p| p.used_pages() as u64).sum()
+        self.pools.iter().map(|p| u64_from_usize(p.used_pages())).sum()
     }
 
     /// High-water mark of mapped pages, summed across pools.
     pub fn kv_peak_used_pages(&self) -> u64 {
-        self.pools.iter().map(|p| p.peak_used_pages() as u64).sum()
+        self.pools.iter().map(|p| u64_from_usize(p.peak_used_pages())).sum()
     }
 
     /// Sessions evicted from a full KV pool so far.
@@ -1133,11 +1139,11 @@ impl Scheduler {
                 s.swap_outs += 1;
                 let bytes = s.request.model.config().kv_cache_bytes(s.kv_len(), KV_BITS);
                 self.swap_outs += 1;
-                self.swapped_pages += moved as u64;
+                self.swapped_pages += u64_from_usize(moved);
                 swapped_out.push(SwapOut { id: victim, to_pool: dst, pages: moved, bytes });
             } else {
                 let s = &mut self.sessions[vi];
-                let lost_tokens = s.kv_len() as u64;
+                let lost_tokens = u64_from_usize(s.kv_len());
                 let mut table = std::mem::take(&mut s.page_table);
                 let released = table.release_all(&mut self.pools[pool]);
                 s.preempt();
@@ -1222,7 +1228,7 @@ impl Scheduler {
         s.migrations += 1;
         let bytes = s.request.model.config().kv_cache_bytes(s.kv_len(), KV_BITS);
         self.migrations += 1;
-        self.migrated_pages += moved as u64;
+        self.migrated_pages += u64_from_usize(moved);
         Some(Migration { pages: moved, bytes })
     }
 

@@ -2,6 +2,7 @@
 //! their percentiles, plus a human-readable report table.
 
 use crate::request::RequestId;
+use mugi_numerics::cast::{u64_from_usize, usize_from_f64};
 use mugi_workloads::models::ModelId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -73,7 +74,7 @@ impl Percentiles {
 
 /// Nearest-rank percentile over a sorted slice.
 fn percentile(sorted: &[f64], p: f64) -> f64 {
-    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    let rank = usize_from_f64((p / 100.0 * (sorted.len() - 1) as f64).round());
     sorted[rank.min(sorted.len() - 1)]
 }
 
@@ -291,7 +292,7 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 fn fnv_fold(mut hash: u64, word: u64) -> u64 {
     for byte in word.to_le_bytes() {
-        hash ^= byte as u64;
+        hash ^= u64::from(byte);
         hash = hash.wrapping_mul(FNV_PRIME);
     }
     hash
@@ -340,7 +341,7 @@ impl StatsFold {
         for (i, r) in requests.into_iter().enumerate() {
             checksum = Self::fold_identity(
                 checksum,
-                first_id + i as u64,
+                first_id + u64_from_usize(i),
                 r.prompt_tokens,
                 r.output_tokens,
             );

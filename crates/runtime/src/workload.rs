@@ -10,6 +10,7 @@
 //! order, so a fixed seed produces bit-identical requests either way.
 
 use crate::request::Request;
+use mugi_numerics::cast::u64_from_f64;
 use mugi_workloads::models::ModelId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -185,7 +186,7 @@ impl Iterator for WorkloadStream {
 /// rounded to whole cycles. `1 - u` never hits zero, so the gap is finite.
 fn exponential_gap(rng: &mut SmallRng, mean_gap_cycles: u64) -> u64 {
     let u: f64 = rng.gen();
-    (-(1.0 - u).ln() * mean_gap_cycles as f64).round() as u64
+    u64_from_f64((-(1.0 - u).ln() * mean_gap_cycles as f64).round())
 }
 
 /// Generates `count` deterministic requests round-robined across `models`

@@ -36,6 +36,7 @@
 //! assert!((approx[0] - 0.5 / (1.0 + (-0.5f32).exp())).abs() < 0.05);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

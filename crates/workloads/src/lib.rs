@@ -22,6 +22,7 @@
 //! root: every downstream experiment consumes either operator *shapes* or
 //! input *distributions*, both of which are faithfully reproduced here.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

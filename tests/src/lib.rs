@@ -1,2 +1,6 @@
 //! Cross-crate integration tests for the Mugi reproduction live in the
 //! `tests/` directory of this package; this library is intentionally empty.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
