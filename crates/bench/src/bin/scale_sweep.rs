@@ -63,6 +63,11 @@ struct Row {
     fold: StatsFold,
     peak_live: usize,
     peak_queue: usize,
+    /// Adaptive control-plane counters — pinned at zero here (the scale
+    /// path runs with the controller off), tracked in the JSON so any
+    /// accidental activation shows up in the perf trajectory.
+    role_rerolls: u64,
+    calibration_samples: u64,
 }
 
 fn run_per_step(count: usize) -> Row {
@@ -80,6 +85,8 @@ fn run_per_step(count: usize) -> Row {
         fold: StatsFold::of_report(&report),
         peak_live: count, // everything is materialized and live at once
         peak_queue: 0,
+        role_rerolls: report.kv.role_rerolls,
+        calibration_samples: report.kv.calibration_samples,
     }
 }
 
@@ -97,6 +104,8 @@ fn run_event_presubmitted(count: usize) -> Row {
         fold: StatsFold::of_report(&report),
         peak_live: count,
         peak_queue: ev.queue().peak_len(),
+        role_rerolls: report.kv.role_rerolls,
+        calibration_samples: report.kv.calibration_samples,
     }
 }
 
@@ -111,6 +120,8 @@ fn run_event_folded(count: usize) -> (Row, ScaleReport) {
         fold: report.fold,
         peak_live: report.peak_live_sessions,
         peak_queue: report.peak_event_queue,
+        role_rerolls: ev.executor().role_reroll_count(),
+        calibration_samples: ev.executor().scheduler().calibration_samples(),
     };
     (row, report)
 }
@@ -123,8 +134,15 @@ fn json_row(count: usize, row: &Row, mode: &str) -> String {
     format!(
         "  {{\"requests\": {count}, \"engine\": \"{}\", \"wall_s\": {:.6}, \
          \"req_per_s\": {:.0}, \"peak_live\": {}, \"peak_queue\": {}, \
-         \"peak_rss_mib\": {rss}, \"mode\": \"{mode}\"}}",
-        row.engine, row.wall_s, req_per_s, row.peak_live, row.peak_queue
+         \"peak_rss_mib\": {rss}, \"role_rerolls\": {}, \
+         \"calibration_samples\": {}, \"mode\": \"{mode}\"}}",
+        row.engine,
+        row.wall_s,
+        req_per_s,
+        row.peak_live,
+        row.peak_queue,
+        row.role_rerolls,
+        row.calibration_samples
     )
 }
 

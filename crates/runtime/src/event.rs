@@ -433,7 +433,7 @@ impl EventEngine {
                 continue;
             }
             idle.sort_by_key(|&i| {
-                let free = self.ex.kv_free_pages(i).unwrap_or(usize::MAX);
+                let free = self.ex.kv_free_pages(i).ranking();
                 (self.ex.pool.free_at(i), Reverse(free), i)
             });
             let primary = idle[0];
@@ -451,10 +451,13 @@ impl EventEngine {
                 if self.drain_due(node_now, stream, fold) {
                     continue 'outer;
                 }
+                // A draining node has no phase: it forms no new batches
+                // until its role flip completes (mirrors the oracle).
+                let Some(phase) = self.ex.phase_for(node) else { continue };
                 if let Some(batch) = self.ex.scheduler.next_micro_batch_phased(
                     node_now,
                     self.ex.pool_for(node),
-                    self.ex.phase_for(node),
+                    phase,
                 ) {
                     self.ex.dispatch(node, batch, node_now);
                     let flight = self.ex.in_flight.last().expect("dispatch queued a batch");

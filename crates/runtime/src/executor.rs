@@ -36,7 +36,8 @@
 
 // mugi-lint: allow(hot-path-panic, "unwrap/expect/indexing here assert documented invariants — dense session ids validated by aidx(), placements that exist for every admitted request, stats present for live sessions; violating them means the simulation state is corrupt and continuing would silently skew results")
 
-use crate::kv::AdmissionError;
+use crate::control::{desired_prefill_nodes, ControlConfig, Drain};
+use crate::kv::{AdmissionError, KvFreePages};
 use crate::placement::{NodePool, Placement, PlacementPolicy, PoolRole};
 use crate::request::{Request, RequestId, Session, SessionState};
 use crate::scheduler::{BatchItem, MicroBatch, PhaseFilter, Scheduler};
@@ -71,12 +72,24 @@ pub struct ExecutorConfig {
     /// [`Scheduler::sessions`] only exposes the unretired tail (the report
     /// is unaffected).
     pub retire_finished: bool,
+    /// The adaptive control plane (see [`crate::control`]): dynamic role
+    /// reassignment, online SLO calibration and load-aware migration
+    /// placement. Fully disabled by default, in which case the executor is
+    /// bit-identical to one predating the controller.
+    #[serde(default)]
+    pub control: ControlConfig,
 }
 
 impl Default for ExecutorConfig {
-    /// 128-entry KV pages, 256-cycle page faults, no incremental retirement.
+    /// 128-entry KV pages, 256-cycle page faults, no incremental retirement,
+    /// controller off.
     fn default() -> Self {
-        ExecutorConfig { kv_bucket: 128, fault_stall_cycles: 256, retire_finished: false }
+        ExecutorConfig {
+            kv_bucket: 128,
+            fault_stall_cycles: 256,
+            retire_finished: false,
+            control: ControlConfig::default(),
+        }
     }
 }
 
@@ -96,6 +109,9 @@ pub(crate) struct InFlight {
     pub(crate) batch: MicroBatch,
     /// Executing node (0 for sharded batches, which occupy every node).
     pub(crate) node: usize,
+    /// Cycle at which the batch started executing (the SLO calibrator
+    /// measures service rate over `end - start`).
+    pub(crate) start: u64,
     /// Cycle at which the batch finishes and its effects apply.
     pub(crate) end: u64,
     /// Monotone dispatch sequence number. Completions tie-break on it: the
@@ -140,6 +156,19 @@ pub struct Executor {
     /// completed prefills plus swapped-out victims. Retried after every
     /// completion (completions are what free decode-pool pages).
     pending_migrations: Vec<RequestId>,
+    /// The live scheduling role of each node. Initialized from the static
+    /// placement and identical to it forever unless the control plane's
+    /// role reassignment is on, in which case quiescent handoffs re-roll
+    /// entries (mirrored into the scheduler's pool roles for bounded KV).
+    node_roles: Vec<PoolRole>,
+    /// The role re-roll in progress, if any (at most one node drains at a
+    /// time; see [`crate::control`]).
+    draining: Option<Drain>,
+    /// Cycle the last re-roll *started* (drains begin here, so the cooldown
+    /// bounds the rate of disruption, not just of completed flips).
+    last_flip_cycle: u64,
+    /// Completed role re-rolls.
+    role_rerolls: u64,
     /// Page-fault stall cycles charged so far.
     fault_stall_cycles: u64,
     /// KV bytes moved between pools over the NoC so far.
@@ -223,6 +252,14 @@ impl Executor {
         let disagg = matches!(placement.policy, PlacementPolicy::Disaggregated { .. });
         let multi_pool =
             bounded && placement.policy == PlacementPolicy::DataParallel && placement.nodes() > 1;
+        if config.control.calibrate_slo {
+            scheduler.enable_slo_calibration(
+                config.control.calibration_warmup_tokens,
+                config.control.calibration_ewma_shift,
+            );
+        }
+        let node_roles: Vec<PoolRole> =
+            (0..placement.nodes()).map(|i| placement.node_role(i)).collect();
         // The scheduler may already hold sessions submitted before the
         // executor was constructed; give each one an accounting slot.
         let accounting = vec![Accounting::default(); scheduler.sessions().len()];
@@ -246,6 +283,10 @@ impl Executor {
             multi_pool,
             disagg,
             pending_migrations: Vec::new(),
+            node_roles,
+            draining: None,
+            last_flip_cycle: 0,
+            role_rerolls: 0,
             fault_stall_cycles: 0,
             transfer_bytes: 0,
             transfer_energy_pj: 0.0,
@@ -330,9 +371,11 @@ impl Executor {
         self.pending_migrations.len()
     }
 
-    /// Free KV pages of the pool node `i` allocates from, or `None` under an
-    /// unbounded configuration.
-    pub fn kv_free_pages(&self, i: usize) -> Option<usize> {
+    /// Free-page headroom of the pool node `i` allocates from:
+    /// [`KvFreePages::Unbounded`] under an unbounded configuration, the
+    /// bounded free count otherwise. Panics (via the scheduler) if a bug
+    /// maps `i` to a nonexistent bounded pool.
+    pub fn kv_free_pages(&self, i: usize) -> KvFreePages {
         self.scheduler.kv_free_pages(self.pool_for(i))
     }
 
@@ -347,13 +390,34 @@ impl Executor {
     }
 
     /// The phases node `i` may execute: both on every colocated policy,
-    /// split by node role under disaggregation.
-    pub(crate) fn phase_for(&self, i: usize) -> PhaseFilter {
-        match self.placement.node_role(i) {
+    /// split by the node's *live* role under disaggregation — and `None`
+    /// while the control plane drains the node for a role flip, during
+    /// which it forms no new batches at all.
+    pub(crate) fn phase_for(&self, i: usize) -> Option<PhaseFilter> {
+        if self.draining.is_some_and(|d| d.node == i) {
+            return None;
+        }
+        Some(match self.node_roles[i] {
             PoolRole::Colocated => PhaseFilter::Both,
             PoolRole::Prefill => PhaseFilter::PrefillOnly,
             PoolRole::Decode => PhaseFilter::DecodeOnly,
-        }
+        })
+    }
+
+    /// The live scheduling role of each node: the static placement roles
+    /// unless the control plane's role reassignment has re-rolled some.
+    pub fn node_roles(&self) -> &[PoolRole] {
+        &self.node_roles
+    }
+
+    /// The node currently draining for a role flip, if any.
+    pub fn draining_node(&self) -> Option<usize> {
+        self.draining.map(|d| d.node)
+    }
+
+    /// Completed control-plane role re-rolls.
+    pub fn role_reroll_count(&self) -> u64 {
+        self.role_rerolls
     }
 
     /// Whether node `i` currently executes an in-flight batch.
@@ -385,6 +449,18 @@ impl Executor {
         let pending = self.in_flight.remove(idx);
         self.scheduler.complete(&pending.batch, pending.end);
         self.clock_cycles = self.clock_cycles.max(pending.end);
+        if self.config.control.calibrate_slo {
+            let prefill_tokens: u64 = pending
+                .batch
+                .items
+                .iter()
+                .filter(|i| i.phase == Phase::Prefill)
+                .map(|i| u64_from_usize(i.tokens))
+                .sum();
+            if prefill_tokens > 0 {
+                self.scheduler.observe_prefill_service(prefill_tokens, pending.end - pending.start);
+            }
+        }
         if self.disagg {
             for item in &pending.batch.items {
                 if item.phase != Phase::Prefill {
@@ -397,6 +473,9 @@ impl Executor {
                 }
             }
             self.service_migrations(pending.end);
+            if self.config.control.reassign_roles {
+                self.role_tick(pending.end);
+            }
         }
         // The batch is fully applied: hand its allocations back so the next
         // formation reuses them.
@@ -415,6 +494,10 @@ impl Executor {
     /// can turn around and swap back in.
     fn service_migrations(&mut self, now: u64) {
         let bounded = self.scheduler.kv_config().is_bounded();
+        // A draining node's residents must leave even though its pool may
+        // still be rolled Decode (decode→decode evacuation), so its pool is
+        // exempt from the role half of the staleness check.
+        let drain_home = self.draining.map(|d| self.pool_for(d.node));
         let mut i = 0;
         while i < self.pending_migrations.len() {
             let id = self.pending_migrations[i];
@@ -425,6 +508,7 @@ impl Executor {
                     && !matches!(
                         s.page_table.home(),
                         Some(p) if self.scheduler.pool_role(p) == PoolRole::Prefill
+                            || Some(p) == drain_home
                     ));
             if stale {
                 self.pending_migrations.remove(i);
@@ -460,23 +544,124 @@ impl Executor {
         }
     }
 
-    /// The decode node to migrate `pages` KV pages onto: with per-node pools
-    /// the one with the most free pages that fits them (ties to the lowest
-    /// index), with an unbounded pool the one with the earliest clock.
+    /// The decode node to migrate `pages` KV pages onto. With per-node
+    /// pools: the one with the most free pages that fits them (ties to the
+    /// lowest index) — or, under the control plane's load-aware placement,
+    /// the *least decode-loaded* one that fits (projected load being the
+    /// residents' remaining output tokens, i.e. their future KV growth;
+    /// free pages then lowest index break ties). With an unbounded pool:
+    /// the one with the earliest clock. A node draining for a role flip is
+    /// never a target.
     fn migration_target(&self, pages: usize, bounded: bool) -> Option<usize> {
-        let decode_nodes =
-            (0..self.pool.len()).filter(|&i| self.placement.node_role(i) == PoolRole::Decode);
-        if bounded {
-            decode_nodes
-                .filter(|&i| {
-                    self.scheduler.kv_free_pages(self.pool_for(i)).is_some_and(|free| free >= pages)
-                })
-                .max_by_key(|&i| {
-                    (self.scheduler.kv_free_pages(self.pool_for(i)), std::cmp::Reverse(i))
-                })
-        } else {
-            self.pool.earliest(decode_nodes)
+        let draining = self.draining.map(|d| d.node);
+        let decode_nodes = (0..self.pool.len())
+            .filter(|&i| self.node_roles[i] == PoolRole::Decode && Some(i) != draining);
+        if !bounded {
+            return self.pool.earliest(decode_nodes);
         }
+        let fitting =
+            decode_nodes.filter(|&i| self.scheduler.kv_free_pages(self.pool_for(i)).fits(pages));
+        if self.config.control.load_aware_migration {
+            fitting.min_by_key(|&i| {
+                let pool = self.pool_for(i);
+                let free = self.scheduler.kv_free_pages(pool).ranking();
+                (self.scheduler.pool_decode_load(pool), std::cmp::Reverse(free), i)
+            })
+        } else {
+            fitting.max_by_key(|&i| {
+                (self.scheduler.kv_free_pages(self.pool_for(i)).ranking(), std::cmp::Reverse(i))
+            })
+        }
+    }
+
+    /// One control-plane sample, taken at a completion boundary (both
+    /// engines call [`Executor::finish`], so the controller observes the
+    /// same sequence under either). Advances an in-progress drain toward
+    /// its quiescent flip, or — demand split allowing and cooldown expired —
+    /// starts a new one.
+    fn role_tick(&mut self, now: u64) {
+        if let Some(drain) = self.draining {
+            let pool = self.pool_for(drain.node);
+            // Residents that were mid-batch at drain start become evictable
+            // only as their batches complete; keep sweeping.
+            self.drain_sweep(drain, now);
+            let quiescent = !self.occupied(drain.node)
+                && (!self.scheduler.kv_config().is_bounded()
+                    || self.scheduler.kv_pool_used_pages(pool) == 0);
+            if quiescent {
+                self.node_roles[drain.node] = drain.target;
+                if self.scheduler.kv_config().is_bounded() {
+                    self.scheduler.set_pool_role(pool, drain.target);
+                }
+                self.scheduler.set_drain_pool(None);
+                self.draining = None;
+                self.role_rerolls += 1;
+            }
+            return;
+        }
+        if now.saturating_sub(self.last_flip_cycle) < self.config.control.min_flip_interval_cycles {
+            return;
+        }
+        let prefill_demand = self.scheduler.pending_prefill_total();
+        let decode_demand = self.scheduler.pending_decode_tokens();
+        if prefill_demand + decode_demand < self.config.control.min_demand_tokens {
+            return;
+        }
+        let current = self.node_roles.iter().filter(|&&r| r == PoolRole::Prefill).count();
+        let target = desired_prefill_nodes(self.pool.len(), current, prefill_demand, decode_demand);
+        if target == current {
+            return;
+        }
+        // Re-roll one node per drain, toward the target: growing the
+        // prefill side converts the least-loaded decode node (fewest used
+        // pages — least resident KV to evacuate), shrinking it converts the
+        // least-loaded prefill node. Ties to the highest index, keeping the
+        // stable low-index nodes in their original roles.
+        let (from_role, to_role) = if target > current {
+            (PoolRole::Decode, PoolRole::Prefill)
+        } else {
+            (PoolRole::Prefill, PoolRole::Decode)
+        };
+        let node =
+            (0..self.pool.len()).filter(|&i| self.node_roles[i] == from_role).min_by_key(|&i| {
+                (self.scheduler.kv_pool_used_pages(self.pool_for(i)), std::cmp::Reverse(i))
+            });
+        let Some(node) = node else { return };
+        let drain = Drain { node, target: to_role };
+        self.draining = Some(drain);
+        self.last_flip_cycle = now;
+        self.scheduler.set_drain_pool(Some(self.pool_for(node)));
+        // Sweep immediately — and flip in this same tick if the node was
+        // already quiescent (common when converting an idle empty node).
+        self.role_tick(now);
+    }
+
+    /// One evacuation sweep over a draining node: recompute-preempts every
+    /// resident the pool can legally drop (not in flight, not decoding) and
+    /// queues the decoding residents for migration to another pool, then
+    /// retries the migration queue. Unbounded configurations home no pages,
+    /// so only the migration retry applies.
+    fn drain_sweep(&mut self, drain: Drain, now: u64) {
+        if self.scheduler.kv_config().is_bounded() {
+            let pool = self.pool_for(drain.node);
+            let released = self.scheduler.preempt_pool_residents(pool);
+            if released > 0 {
+                // Teardown is charged like any other eviction: fault stalls
+                // per released page, paid by the draining node.
+                let stall = released * self.config.fault_stall_cycles;
+                self.fault_stall_cycles += stall;
+                self.pool.wait_until(drain.node, now + stall);
+            }
+            for s in self.scheduler.sessions() {
+                if s.state == SessionState::Decoding
+                    && s.page_table.home() == Some(pool)
+                    && !self.pending_migrations.contains(&s.id)
+                {
+                    self.pending_migrations.push(s.id);
+                }
+            }
+        }
+        self.service_migrations(now);
     }
 
     /// Folds the statistics of every finished session at the front of the
@@ -546,7 +731,7 @@ impl Executor {
                 continue;
             }
             idle.sort_by_key(|&i| {
-                let free = self.kv_free_pages(i).unwrap_or(usize::MAX);
+                let free = self.kv_free_pages(i).ranking();
                 (self.pool.free_at(i), std::cmp::Reverse(free), i)
             });
             let primary = idle[0];
@@ -572,11 +757,12 @@ impl Executor {
                         continue 'outer;
                     }
                 }
-                if let Some(batch) = self.scheduler.next_micro_batch_phased(
-                    node_now,
-                    self.pool_for(node),
-                    self.phase_for(node),
-                ) {
+                // A draining node has no phase: it forms no new batches
+                // until its role flip completes.
+                let Some(phase) = self.phase_for(node) else { continue };
+                if let Some(batch) =
+                    self.scheduler.next_micro_batch_phased(node_now, self.pool_for(node), phase)
+                {
                     self.dispatch(node, batch, node_now);
                     return true;
                 }
@@ -686,7 +872,7 @@ impl Executor {
             acct.micro_batches += 1;
         }
         self.share_scratch = shares;
-        self.in_flight.push(InFlight { batch, node, end, seq: self.steps });
+        self.in_flight.push(InFlight { batch, node, start, end, seq: self.steps });
     }
 
     /// Runs until every submitted request has finished, then reports.
@@ -794,6 +980,9 @@ impl Executor {
             transfer_bytes: self.transfer_bytes,
             transfer_energy_uj: self.transfer_energy_pj * 1e-6,
             transfer_stall_cycles: self.transfer_stall_cycles,
+            role_rerolls: self.role_rerolls,
+            calibration_samples: self.scheduler.calibration_samples(),
+            calibrated_cycles_per_prefill_token: self.scheduler.calibrated_rate(),
         }
     }
 }

@@ -251,6 +251,50 @@ impl fmt::Display for AdmissionError {
 
 impl std::error::Error for AdmissionError {}
 
+/// Free-page headroom of one scheduler pool, as placement logic sees it.
+///
+/// An unbounded configuration models no pages at all, so its headroom is a
+/// distinct *unbounded* state — not a `None` an out-of-range pool index
+/// could alias. Keeping the two apart matters: placement ranks nodes by
+/// headroom, and a silent indexing bug that read as "infinitely free" would
+/// win every placement decision instead of failing loudly (the scheduler
+/// asserts the index whenever pools are bounded).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KvFreePages {
+    /// The configuration is unbounded: no pool exists and nothing can run
+    /// out of pages.
+    Unbounded,
+    /// A bounded pool with this many pages currently free.
+    Pages(usize),
+}
+
+impl KvFreePages {
+    /// Free-page count for placement ranking: an unbounded pool outranks
+    /// every bounded one.
+    pub fn ranking(self) -> usize {
+        match self {
+            KvFreePages::Unbounded => usize::MAX,
+            KvFreePages::Pages(free) => free,
+        }
+    }
+
+    /// Whether `pages` more pages can be allocated right now.
+    pub fn fits(self, pages: usize) -> bool {
+        match self {
+            KvFreePages::Unbounded => true,
+            KvFreePages::Pages(free) => free >= pages,
+        }
+    }
+
+    /// The bounded free-page count, or `None` for an unbounded pool.
+    pub fn pages(self) -> Option<usize> {
+        match self {
+            KvFreePages::Unbounded => None,
+            KvFreePages::Pages(free) => Some(free),
+        }
+    }
+}
+
 /// A bounded pool of physical KV pages (one per node under data-parallel
 /// placement; one aggregate pool under sharded placement).
 ///
@@ -560,5 +604,22 @@ mod tests {
         assert!(q.to_string().contains("8 live sessions"));
         let f = AdmissionError::NeverFits { needed_pages: 40, capacity_pages: 16 };
         assert!(f.to_string().contains("40 KV pages"));
+    }
+
+    #[test]
+    fn free_page_headroom_keeps_unbounded_distinct_from_bounded() {
+        // Regression for the `unwrap_or(usize::MAX)` placement bug: the
+        // unbounded state is a real variant, not an absent count, so a
+        // bounded answer can never be confused with it.
+        let unbounded = KvFreePages::Unbounded;
+        assert_eq!(unbounded.ranking(), usize::MAX);
+        assert!(unbounded.fits(usize::MAX));
+        assert_eq!(unbounded.pages(), None);
+        let bounded = KvFreePages::Pages(3);
+        assert_eq!(bounded.ranking(), 3);
+        assert!(bounded.fits(3));
+        assert!(!bounded.fits(4));
+        assert_eq!(bounded.pages(), Some(3));
+        assert_ne!(unbounded, KvFreePages::Pages(usize::MAX), "MAX free is still bounded");
     }
 }

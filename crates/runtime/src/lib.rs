@@ -32,6 +32,11 @@
 //!   instead of the per-step outer loop, bit-identical to the [`Executor`]
 //!   (the golden/property suites pin this) while serving lazily-streamed
 //!   workloads of millions of requests in O(live sessions) memory;
+//! * [`control`] — the adaptive control plane: a feedback controller
+//!   sampled at batch-completion boundaries that re-rolls node roles toward
+//!   the live prefill:decode demand split (quiescent handoffs), calibrates
+//!   the projected-TTFT admission rate online, and places KV migrations by
+//!   projected decode load — all off by default and bit-inert when off;
 //! * [`stats`] — TTFT/TPOT/throughput per request plus p50/p95/p99
 //!   aggregates in a [`RuntimeReport`], and the O(1) [`StatsFold`] /
 //!   [`ScaleReport`] the event engine folds retired sessions into;
@@ -62,6 +67,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod control;
 pub mod event;
 pub mod executor;
 pub mod kv;
@@ -71,11 +77,12 @@ pub mod scheduler;
 pub mod stats;
 pub mod workload;
 
+pub use control::{ControlConfig, SloCalibrator};
 pub use event::{Event, EventEngine, EventKind, EventQueue};
 pub use executor::{Executor, ExecutorConfig};
 pub use kv::{
-    pages_for, AdmissionError, KvConfig, KvPool, PageId, PageTable, PreemptionMode, SloConfig,
-    KV_BITS,
+    pages_for, AdmissionError, KvConfig, KvFreePages, KvPool, PageId, PageTable, PreemptionMode,
+    SloConfig, KV_BITS,
 };
 pub use placement::{NodePool, Placement, PlacementPolicy, PoolRole};
 pub use request::{Request, RequestId, Session, SessionArena, SessionState};
@@ -84,4 +91,6 @@ pub use scheduler::{
     SchedulingPolicy, SwapOut,
 };
 pub use stats::{KvStats, Percentiles, RequestStats, RuntimeReport, ScaleReport, StatsFold};
-pub use workload::{synthetic_requests, ArrivalModel, WorkloadSpec, WorkloadStream};
+pub use workload::{
+    phased_requests, synthetic_requests, ArrivalModel, WorkloadSpec, WorkloadStream,
+};

@@ -81,7 +81,10 @@
 
 // mugi-lint: allow(hot-path-panic, "panics here enforce documented API contracts (submit after finish, retired-session access) and scheduler invariants (dense ids via sidx(), page-table/pool consistency); a deterministic simulator must abort on corrupt state rather than guess")
 
-use crate::kv::{pages_for, AdmissionError, KvConfig, KvPool, PreemptionMode, SloConfig, KV_BITS};
+use crate::control::SloCalibrator;
+use crate::kv::{
+    pages_for, AdmissionError, KvConfig, KvFreePages, KvPool, PreemptionMode, SloConfig, KV_BITS,
+};
 use crate::placement::PoolRole;
 use crate::request::{Request, RequestId, Session, SessionArena, SessionState};
 use mugi_numerics::cast::{u64_from_usize, usize_from_u64};
@@ -376,6 +379,30 @@ pub struct Scheduler {
     /// must not be scheduled twice. A `BTreeSet` (bounded by the node count
     /// times the batch bound) so membership never involves a hasher.
     in_flight: BTreeSet<RequestId>,
+    /// Incremental prefill-backlog ledger: `(arrival_cycle, id) →
+    /// remaining_prefill` for every session that still owes prefill tokens.
+    /// Maintained at the three places that change a session's owed prefill —
+    /// admission inserts the prompt, a completed prefill chunk debits it
+    /// (removing the entry at zero), an eviction re-credits the recompute
+    /// target — so the SLO admission check answers "how much prefill was
+    /// queued at this arrival?" from a suffix range of this map instead of
+    /// scanning every live session (see [`Scheduler::prefill_backlog_at`]).
+    pending_prefill: BTreeMap<(u64, RequestId), u64>,
+    /// Sum of every `pending_prefill` entry, maintained alongside it, so the
+    /// common in-order-arrival query (empty suffix) is O(1).
+    pending_prefill_total: u64,
+    /// Output tokens promised but not yet emitted across every live session
+    /// — the decode-side demand counter the control plane weighs against
+    /// `pending_prefill_total`. Credited at admission, debited per emitted
+    /// token; maintained unconditionally (two integer ops per event).
+    pending_decode_tokens: u64,
+    /// The online SLO calibrator, present only when the executor's control
+    /// plane enabled calibration. While warming up (or absent) the
+    /// admission check uses the configured static rate.
+    calibrator: Option<SloCalibrator>,
+    /// Pool being drained for a control-plane role flip: excluded as a
+    /// swap-out target so new residents cannot trickle in while it empties.
+    drain_pool: Option<usize>,
     /// Sessions that have finished (retired from the queues). `all_finished`
     /// is a counter comparison, not a scan.
     retired: usize,
@@ -455,6 +482,11 @@ impl Scheduler {
             queues: Vec::new(),
             future: VecDeque::new(),
             in_flight: BTreeSet::new(),
+            pending_prefill: BTreeMap::new(),
+            pending_prefill_total: 0,
+            pending_decode_tokens: 0,
+            calibrator: None,
+            drain_pool: None,
             retired: 0,
             serve_counter: 0,
             preempted: 0,
@@ -588,14 +620,29 @@ impl Scheduler {
             // service-rate estimate. Deliberately ignores decode
             // interference and drainage between now and the arrival — it is
             // a bound on *queued work*, not a simulation.
-            let backlog: u64 = self
-                .sessions
-                .iter()
-                .filter(|s| !s.is_finished() && s.request.arrival_cycle <= request.arrival_cycle)
-                .map(|s| u64_from_usize(s.remaining_prefill()))
-                .sum();
-            let projected =
-                (backlog + u64_from_usize(request.prompt_tokens)) * cycles_per_prefill_token;
+            let backlog = self.prefill_backlog_at(request.arrival_cycle);
+            debug_assert_eq!(
+                backlog,
+                self.sessions
+                    .iter()
+                    .filter(|s| {
+                        !s.is_finished() && s.request.arrival_cycle <= request.arrival_cycle
+                    })
+                    .map(|s| u64_from_usize(s.remaining_prefill()))
+                    .sum::<u64>(),
+                "incremental prefill ledger diverged from the live-session scan"
+            );
+            // The calibrated service rate replaces the configured guess
+            // once the calibrator (if the control plane enabled one) has
+            // warmed up. Calibrated rates are conservative by construction
+            // (floored at the cumulative measured mean), so this can only
+            // tighten admission relative to the true measured rate.
+            let rate = self
+                .calibrator
+                .as_ref()
+                .and_then(SloCalibrator::rate)
+                .unwrap_or(cycles_per_prefill_token);
+            let projected = (backlog + u64_from_usize(request.prompt_tokens)) * rate;
             if projected > target_ttft_cycles {
                 self.rejected += 1;
                 return Err(AdmissionError::SloViolation {
@@ -607,6 +654,12 @@ impl Scheduler {
         let id = RequestId(u64_from_usize(self.sessions.retired_count() + self.sessions.len()));
         self.sessions.push(Session::new(id, request));
         let arrival = request.arrival_cycle;
+        let owed = u64_from_usize(request.prompt_tokens);
+        if owed > 0 {
+            self.pending_prefill.insert((arrival, id), owed);
+            self.pending_prefill_total += owed;
+        }
+        self.pending_decode_tokens += u64_from_usize(request.output_tokens);
         if self.future.back().is_none_or(|&(a, _)| a <= arrival) {
             self.future.push_back((arrival, id));
         } else {
@@ -677,15 +730,175 @@ impl Scheduler {
         self.in_flight.len()
     }
 
+    /// Prefill tokens still owed by sessions that arrived at or before
+    /// `arrival_cycle` — the backlog the SLO admission check charges a new
+    /// arrival with. Answered from the incremental ledger by subtracting the
+    /// later-arrival suffix from the running total: O(log n + k) for k
+    /// sessions arriving strictly later, and k = 0 — a pure O(log n) probe —
+    /// for an arrival-ordered stream, the normal case. Bit-identical to the
+    /// live-session scan it replaced (a `debug_assert` in
+    /// [`Scheduler::try_submit`] pins the equivalence on every admission).
+    pub fn prefill_backlog_at(&self, arrival_cycle: u64) -> u64 {
+        use std::ops::Bound;
+        let later: u64 = self
+            .pending_prefill
+            .range((Bound::Excluded((arrival_cycle, RequestId(u64::MAX))), Bound::Unbounded))
+            .map(|(_, &owed)| owed)
+            .sum();
+        self.pending_prefill_total - later
+    }
+
+    /// Total prefill tokens still owed across every live session, whatever
+    /// their arrival cycle — the O(1) running sum of the incremental
+    /// backlog ledger. The control plane reads this (together with
+    /// [`Scheduler::pending_decode_tokens`]) to split nodes between roles by
+    /// outstanding demand.
+    pub fn pending_prefill_total(&self) -> u64 {
+        self.pending_prefill_total
+    }
+
+    /// Output tokens promised but not yet emitted across every live session
+    /// — the decode-side demand the control plane weighs against
+    /// [`Scheduler::pending_prefill_total`] when re-rolling node roles.
+    pub fn pending_decode_tokens(&self) -> u64 {
+        self.pending_decode_tokens
+    }
+
+    /// Installs an online SLO calibrator (see
+    /// [`SloCalibrator`](crate::control::SloCalibrator)): once it has
+    /// observed `warmup_tokens` prefill tokens, its measured rate replaces
+    /// the configured [`SloConfig::cycles_per_prefill_token`] in the
+    /// admission check. Called by the executor when the control plane's
+    /// calibration is enabled; idempotent state-wise (re-enabling resets
+    /// the calibrator).
+    pub fn enable_slo_calibration(&mut self, warmup_tokens: u64, ewma_shift: u32) {
+        self.calibrator = Some(SloCalibrator::new(warmup_tokens, ewma_shift));
+    }
+
+    /// Feeds the calibrator one completed micro-batch that served `tokens`
+    /// prefill tokens in `cycles` cycles. No-op when calibration is off.
+    pub fn observe_prefill_service(&mut self, tokens: u64, cycles: u64) {
+        if let Some(c) = &mut self.calibrator {
+            c.observe(tokens, cycles);
+        }
+    }
+
+    /// The calibrated cycles-per-prefill-token estimate currently steering
+    /// admission, or `None` when calibration is off or still warming up.
+    pub fn calibrated_rate(&self) -> Option<u64> {
+        self.calibrator.as_ref().and_then(SloCalibrator::rate)
+    }
+
+    /// Prefill slices the calibrator has observed (zero when calibration is
+    /// off).
+    pub fn calibration_samples(&self) -> u64 {
+        self.calibrator.as_ref().map_or(0, SloCalibrator::samples)
+    }
+
+    /// Re-rolls pool `pool`'s scheduling role — the commit point of a
+    /// control-plane quiescent handoff.
+    ///
+    /// # Panics
+    /// Panics if the pool still holds pages: roles may only change on an
+    /// empty pool (the executor drains it first).
+    pub fn set_pool_role(&mut self, pool: usize, role: PoolRole) {
+        assert_eq!(
+            self.pools[pool].used_pages(),
+            0,
+            "a pool must be drained empty before its role changes"
+        );
+        self.pool_roles[pool] = role;
+    }
+
+    /// Marks `pool` as draining for a role flip (or clears the mark with
+    /// `None`): a draining pool is never picked as a swap-out target, so no
+    /// new residents trickle in while the executor empties it.
+    pub fn set_drain_pool(&mut self, pool: Option<usize>) {
+        self.drain_pool = pool;
+    }
+
+    /// Pages currently mapped in pool `pool` (zero under an unbounded
+    /// configuration, where no pools exist).
+    pub fn kv_pool_used_pages(&self, pool: usize) -> usize {
+        self.pools.get(pool).map_or(0, KvPool::used_pages)
+    }
+
+    /// Projected decode load of pool `pool`: the remaining output tokens of
+    /// its resident decoding sessions — exactly the KV growth still to be
+    /// written there. A lazy O(decoding residents) scan, taken only at
+    /// migration-target selection under the control plane's load-aware
+    /// placement.
+    pub fn pool_decode_load(&self, pool: usize) -> u64 {
+        self.queues
+            .iter()
+            .flat_map(|q| q.decoding.iter())
+            .map(|&id| &self.sessions[self.sidx(id)])
+            .filter(|s| s.page_table.home() == Some(pool))
+            .map(|s| u64_from_usize(s.request.output_tokens - s.generated_tokens))
+            .sum()
+    }
+
+    /// Recompute-preempts every resident of pool `pool` that can legally be
+    /// dropped — not finished, not decoding (those migrate out instead, KV
+    /// intact) and not inside an in-flight batch — returning the pages
+    /// released. The executor's drain sweep calls this until the pool
+    /// empties; preemption counters and the prefill ledger are maintained
+    /// exactly as for capacity evictions.
+    pub fn preempt_pool_residents(&mut self, pool: usize) -> u64 {
+        let victims: Vec<RequestId> = self
+            .queues
+            .iter()
+            .flat_map(|q| q.waiting.iter())
+            .copied()
+            .filter(|&v| {
+                let s = &self.sessions[self.sidx(v)];
+                s.page_table.home() == Some(pool)
+                    && s.state != SessionState::Decoding
+                    && !self.in_flight.contains(&v)
+            })
+            .collect();
+        let mut released_total = 0u64;
+        for victim in victims {
+            let vi = self.sidx(victim);
+            let s = &mut self.sessions[vi];
+            let lost_tokens = u64_from_usize(s.kv_len());
+            let mut table = std::mem::take(&mut s.page_table);
+            let released = table.release_all(&mut self.pools[pool]);
+            let prev_owed = u64_from_usize(s.remaining_prefill());
+            s.preempt();
+            let owed = u64_from_usize(s.remaining_prefill());
+            self.pending_prefill.insert((s.request.arrival_cycle, victim), owed);
+            self.pending_prefill_total = self.pending_prefill_total - prev_owed + owed;
+            self.preempted += 1;
+            self.reprefill_tokens += lost_tokens;
+            released_total += u64_from_usize(released);
+        }
+        self.evicted_pages += released_total;
+        released_total
+    }
+
     /// Number of KV pools (zero under an unbounded configuration).
     pub fn kv_pool_count(&self) -> usize {
         self.pools.len()
     }
 
-    /// Free pages of pool `pool`, or `None` under an unbounded
-    /// configuration (where every pool is infinitely free).
-    pub fn kv_free_pages(&self, pool: usize) -> Option<usize> {
-        self.pools.get(pool).map(KvPool::free_pages)
+    /// Free-page headroom of pool `pool`: [`KvFreePages::Unbounded`] under
+    /// an unbounded configuration, the bounded free count otherwise.
+    ///
+    /// # Panics
+    /// Panics when pools are bounded and `pool` is out of range — an
+    /// indexing bug must fail loudly, not read as infinite headroom and win
+    /// every placement decision.
+    pub fn kv_free_pages(&self, pool: usize) -> KvFreePages {
+        if self.pools.is_empty() {
+            return KvFreePages::Unbounded;
+        }
+        assert!(
+            pool < self.pools.len(),
+            "pool index {pool} out of range for {} bounded pools",
+            self.pools.len()
+        );
+        KvFreePages::Pages(self.pools[pool].free_pages())
     }
 
     /// Total page capacity across all pools (`None` = unbounded).
@@ -1146,7 +1359,15 @@ impl Scheduler {
                 let lost_tokens = u64_from_usize(s.kv_len());
                 let mut table = std::mem::take(&mut s.page_table);
                 let released = table.release_all(&mut self.pools[pool]);
+                let prev_owed = u64_from_usize(s.remaining_prefill());
                 s.preempt();
+                // Re-credit the recompute debt: the eviction reset the
+                // session's prefill target to prompt + generated, so the
+                // ledger entry (absent when the victim had fully prefilled)
+                // is replaced wholesale rather than adjusted.
+                let owed = u64_from_usize(s.remaining_prefill());
+                self.pending_prefill.insert((s.request.arrival_cycle, victim), owed);
+                self.pending_prefill_total = self.pending_prefill_total - prev_owed + owed;
                 let model = s.request.model;
                 let queue = self
                     .queues
@@ -1168,11 +1389,16 @@ impl Scheduler {
 
     /// The prefill pool with the most free pages that can hold `pages`
     /// (ties to the lowest index), or `None` if no prefill pool has room.
+    /// A pool draining for a control-plane role flip never qualifies.
     fn swap_target(&self, pages: usize) -> Option<usize> {
         self.pool_roles
             .iter()
             .enumerate()
-            .filter(|&(i, role)| *role == PoolRole::Prefill && self.pools[i].free_pages() >= pages)
+            .filter(|&(i, role)| {
+                *role == PoolRole::Prefill
+                    && Some(i) != self.drain_pool
+                    && self.pools[i].free_pages() >= pages
+            })
             .max_by_key(|&(i, _)| (self.pools[i].free_pages(), std::cmp::Reverse(i)))
             .map(|(i, _)| i)
     }
@@ -1272,6 +1498,23 @@ impl Scheduler {
             let s = &mut self.sessions[i];
             match item.phase {
                 Phase::Prefill => {
+                    // Debit the chunk from the backlog ledger, dropping the
+                    // entry once the session owes nothing.
+                    let key = (s.request.arrival_cycle, item.id);
+                    let paid = u64_from_usize(item.tokens);
+                    let owed = {
+                        let owed = self
+                            .pending_prefill
+                            .get_mut(&key)
+                            .expect("a prefill chunk debits a ledgered session");
+                        debug_assert!(*owed >= paid, "chunk exceeds ledgered prefill debt");
+                        *owed -= paid;
+                        *owed
+                    };
+                    self.pending_prefill_total -= paid;
+                    if owed == 0 {
+                        self.pending_prefill.remove(&key);
+                    }
                     s.prefilled_tokens += item.tokens;
                     debug_assert!(s.prefilled_tokens <= s.prefill_target);
                     if s.remaining_prefill() == 0 {
@@ -1279,6 +1522,7 @@ impl Scheduler {
                             // The prefill step produces the first output
                             // token.
                             s.generated_tokens = 1;
+                            self.pending_decode_tokens -= 1;
                             s.first_token_cycle = Some(end_cycle);
                             if s.generated_tokens >= s.request.output_tokens {
                                 s.state = SessionState::Finished;
@@ -1296,6 +1540,7 @@ impl Scheduler {
                 }
                 Phase::Decode => {
                     s.generated_tokens += 1;
+                    self.pending_decode_tokens -= 1;
                     if s.generated_tokens >= s.request.output_tokens {
                         s.state = SessionState::Finished;
                         s.finish_cycle = Some(end_cycle);
@@ -1603,7 +1848,7 @@ mod tests {
                 let mapped: u64 =
                     sched.sessions().iter().map(|s| s.page_table.mapped_pages() as u64).sum();
                 assert_eq!(
-                    sched.kv_free_pages(0).unwrap() as u64 + mapped,
+                    sched.kv_free_pages(0).pages().unwrap() as u64 + mapped,
                     capacity,
                     "free + mapped must equal capacity after every step"
                 );
@@ -1648,7 +1893,29 @@ mod tests {
             assert_eq!(s.generated_tokens, s.request.output_tokens);
             assert_eq!(s.page_table.mapped_pages(), 0, "finished sessions hold no pages");
         }
-        assert_eq!(sched.kv_free_pages(0), Some(4), "all pages return to the pool");
+        assert_eq!(sched.kv_free_pages(0).pages(), Some(4), "all pages return to the pool");
+    }
+
+    #[test]
+    fn kv_free_pages_distinguishes_unbounded_from_a_bad_index() {
+        // Unbounded: every index reads as the explicit unbounded state —
+        // there is no pool an index could be "out of range" of.
+        let sched = Scheduler::new(SchedulerConfig::default());
+        assert_eq!(sched.kv_free_pages(0), KvFreePages::Unbounded);
+        assert_eq!(sched.kv_free_pages(17), KvFreePages::Unbounded);
+        // Bounded: valid indices answer with a real count.
+        let sched = Scheduler::with_kv(SchedulerConfig::default(), KvConfig::bounded(4, 4));
+        assert_eq!(sched.kv_free_pages(0), KvFreePages::Pages(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn kv_free_pages_panics_on_an_out_of_range_bounded_index() {
+        // Regression: this used to return `None`, which placement call
+        // sites folded to usize::MAX free pages — an indexing bug would
+        // silently win every placement decision instead of failing.
+        let sched = Scheduler::with_kv(SchedulerConfig::default(), KvConfig::bounded(4, 4));
+        let _ = sched.kv_free_pages(1);
     }
 
     #[test]

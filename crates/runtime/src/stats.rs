@@ -72,10 +72,13 @@ impl Percentiles {
     }
 }
 
-/// Nearest-rank percentile over a sorted slice.
+/// Nearest-rank percentile over a sorted slice: the smallest value with at
+/// least `p` percent of the population at or below it, i.e. element
+/// `⌈p/100 · n⌉` (1-indexed) — the textbook nearest-rank definition. No
+/// interpolation: the result is always a member of the population.
 fn percentile(sorted: &[f64], p: f64) -> f64 {
-    let rank = usize_from_f64((p / 100.0 * (sorted.len() - 1) as f64).round());
-    sorted[rank.min(sorted.len() - 1)]
+    let rank = usize_from_f64((p / 100.0 * sorted.len() as f64).ceil());
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Paged-KV statistics of one serving run: how full the pool ran and what
@@ -119,6 +122,18 @@ pub struct KvStats {
     /// Stall cycles spent streaming KV transfers (receiving-node stalls for
     /// migrations and swap-ins, batch stalls for swap-outs).
     pub transfer_stall_cycles: u64,
+    /// Node role re-rolls completed by the adaptive control plane (zero
+    /// with the controller off — the default — or colocated placement).
+    #[serde(default)]
+    pub role_rerolls: u64,
+    /// Prefill slices observed by the online SLO calibrator (zero with
+    /// calibration off).
+    #[serde(default)]
+    pub calibration_samples: u64,
+    /// The calibrated cycles-per-prefill-token admission rate, once warmed
+    /// up (`None` with calibration off or still warming).
+    #[serde(default)]
+    pub calibrated_cycles_per_prefill_token: Option<u64>,
 }
 
 impl KvStats {
@@ -427,9 +442,35 @@ mod tests {
     fn percentiles_of_uniform_population() {
         let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         let p = Percentiles::of(&values);
-        assert_eq!(p.p50, 51.0); // nearest rank on 0-indexed 99-step range
+        assert_eq!(p.p50, 50.0); // nearest rank: ⌈0.50 · 100⌉ = 50th value
         assert_eq!(p.p95, 95.0);
         assert_eq!(p.p99, 99.0);
+    }
+
+    #[test]
+    fn nearest_rank_is_pinned_at_small_populations() {
+        // Regression for the interpolated-index bug: nearest-rank must pick
+        // element ⌈p/100 · n⌉ (1-indexed), never an interpolated neighbour.
+        // n = 1: every percentile is the only value.
+        let p = Percentiles::of(&[7.0]);
+        assert_eq!((p.p50, p.p95, p.p99), (7.0, 7.0, 7.0));
+        // n = 2: p50 → ⌈1.0⌉ = 1st, p95/p99 → ⌈1.9⌉/⌈1.98⌉ = 2nd.
+        let p = Percentiles::of(&[1.0, 2.0]);
+        assert_eq!((p.p50, p.p95, p.p99), (1.0, 2.0, 2.0));
+        // n = 3: p50 → ⌈1.5⌉ = 2nd, p95/p99 → ⌈2.85⌉/⌈2.97⌉ = 3rd. The
+        // old rounded interpolation agreed here on p50 but reached the 3rd
+        // value via round(0.95·2) = 2 only by accident of rounding.
+        let p = Percentiles::of(&[1.0, 2.0, 3.0]);
+        assert_eq!((p.p50, p.p95, p.p99), (2.0, 3.0, 3.0));
+        // n = 100: p50 → 50th, p95 → 95th, p99 → 99th. The old
+        // interpolation reported the 51st for p50.
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p = Percentiles::of(&values);
+        assert_eq!((p.p50, p.p95, p.p99), (50.0, 95.0, 99.0));
+        // Order-independence: percentiles sort internally.
+        let mut shuffled: Vec<f64> = values.clone();
+        shuffled.reverse();
+        assert_eq!(Percentiles::of(&shuffled), p);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! order, so a fixed seed produces bit-identical requests either way.
 
 use crate::request::Request;
-use mugi_numerics::cast::u64_from_f64;
+use mugi_numerics::cast::{u64_from_f64, u64_from_usize};
 use mugi_workloads::models::ModelId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -205,6 +205,33 @@ pub fn synthetic_requests(
     WorkloadStream::new(seed, models, spec).take(count).collect()
 }
 
+/// Generates a workload whose mix *shifts* over the run: one
+/// [`synthetic_requests`] draw per `(spec, start_cycle, count)` phase, with
+/// the phase's arrivals offset by its start cycle, concatenated in phase
+/// order. Each phase derives its seed as `seed + phase index`, so phases are
+/// independent draws but the whole trace is deterministic. This is the
+/// regime the adaptive control plane exists for — a prefill:decode demand
+/// ratio that no single static node split serves well — and what the
+/// `adaptive_sweep` bench drives.
+///
+/// # Panics
+/// Panics if `models` is empty or any phase's range is inverted.
+pub fn phased_requests(
+    seed: u64,
+    models: &[ModelId],
+    phases: &[(WorkloadSpec, u64, usize)],
+) -> Vec<Request> {
+    phases
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &(spec, start_cycle, count))| {
+            synthetic_requests(seed + u64_from_usize(i), count, models, spec)
+                .into_iter()
+                .map(move |r| r.arriving_at(start_cycle + r.arrival_cycle))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +252,28 @@ mod tests {
         }
         let c = synthetic_requests(43, 64, &models, spec);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn phased_workloads_concatenate_offset_phases() {
+        let prefill_heavy = WorkloadSpec::mixed_long_prefill(1_000);
+        let decode_heavy = WorkloadSpec::kv_pressure();
+        let reqs = phased_requests(
+            9,
+            &[ModelId::Llama2_7b],
+            &[(prefill_heavy, 0, 8), (decode_heavy, 50_000, 8)],
+        );
+        assert_eq!(reqs.len(), 16);
+        assert!(reqs[..8].iter().all(|r| r.arrival_cycle <= 1_000 && r.prompt_tokens >= 768));
+        assert!(reqs[8..].iter().all(|r| r.arrival_cycle >= 50_000 && r.prompt_tokens <= 256));
+        // Phase draws are independent (distinct derived seeds) but the
+        // whole trace is deterministic.
+        let again = phased_requests(
+            9,
+            &[ModelId::Llama2_7b],
+            &[(prefill_heavy, 0, 8), (decode_heavy, 50_000, 8)],
+        );
+        assert_eq!(reqs, again);
     }
 
     #[test]

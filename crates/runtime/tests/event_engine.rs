@@ -155,7 +155,13 @@ fn run_per_step(s: &Scenario) -> RuntimeReport {
 }
 
 /// Golden fingerprints captured from the per-step executor at commit
-/// e0e057f, in `scenarios()` order.
+/// e0e057f, in `scenarios()` order. The six percentile entries (indices
+/// 3–8) were re-captured when `Percentiles::of` was fixed to true
+/// nearest-rank: at these population sizes the p50 rank (and, at n = 16,
+/// the p95 rank) legitimately moves one element. Every simulation entry —
+/// makespan, throughput, energy and NoC sums, all KV counters — is
+/// untouched from the e0e057f capture, which is what pins the simulation
+/// itself as bit-identical.
 fn golden(name: &str) -> Vec<u64> {
     match name {
         "single-node" => vec![
@@ -165,7 +171,7 @@ fn golden(name: &str) -> Vec<u64> {
             0x40805771ebaab372,
             0x409546d8dfaa9ffc,
             0x40962f40748f4909,
-            0x402422a8ef9bdb24,
+            0x40234d64cc0da2b7,
             0x4027c1481a5955eb,
             0x4027d24d39ba03be,
             0x41846d170ce08724,
@@ -192,10 +198,10 @@ fn golden(name: &str) -> Vec<u64> {
             0x0000000000000014,
             0x409bb4c9fe7109ad,
             0x3feb400dd8ffa8f1,
-            0x407d9fdfb029530b,
+            0x40799899afe9e811,
             0x409293f292af19b4,
             0x40932dcb38c34006,
-            0x401935957d0c4bac,
+            0x40192f19fcc7a70e,
             0x40231328267217eb,
             0x402727530d406f2b,
             0x41a4b2640bc58018,
@@ -222,11 +228,11 @@ fn golden(name: &str) -> Vec<u64> {
             0x0000000000000010,
             0x40817918445ea9af,
             0x3fe5762ec5028bcb,
-            0x40703f5cc84e8dd8,
-            0x4078c66c9b621ba9,
+            0x40703f4f3484c1f1,
             0x407a286edcb29df7,
-            0x401e5841b7ccfd10,
-            0x4045606f11c21f4a,
+            0x407a286edcb29df7,
+            0x401a801861ddc461,
+            0x404757f3b6c7ac8f,
             0x404757f3b6c7ac8f,
             0x41888eb9b9cc285f,
             0x40d781923bd746a1,
@@ -252,11 +258,11 @@ fn golden(name: &str) -> Vec<u64> {
             0x0000000000000010,
             0x40937bb0fb2bafdc,
             0x3fee8a07a7ebec33,
-            0x407f7cf9d5e3f7b7,
+            0x4063c24027e348e5,
             0x40867b61b7af0363,
             0x40867b61b7af0363,
-            0x40139838ba477366,
-            0x401c8fe5329c8a65,
+            0x4012678ae4fa9a3a,
+            0x401d5777f264f847,
             0x401d5777f264f847,
             0x419308f76b77a1a7,
             0x405331a08bfc2216,
@@ -296,6 +302,23 @@ fn run_event(s: &Scenario) -> (RuntimeReport, EventEngine) {
     }
     let report = ev.run();
     (report, ev)
+}
+
+/// Regeneration helper, not a check: prints every scenario's fingerprint in
+/// the hex layout of [`golden`]. Run it when a golden legitimately moves
+/// (`cargo test -p mugi-runtime --test event_engine print_fingerprints -- \
+/// --ignored --nocapture`), then audit the diff entry by entry before
+/// pasting — only entries a deliberate change explains may differ.
+#[test]
+#[ignore = "golden regeneration helper; prints, asserts nothing"]
+fn print_fingerprints() {
+    for s in scenarios() {
+        println!("        \"{}\" => vec![", s.name);
+        for word in fingerprint(&run_per_step(&s)) {
+            println!("            0x{word:016x},");
+        }
+        println!("        ],");
+    }
 }
 
 /// The per-step executor must keep matching the digests captured at

@@ -10,8 +10,8 @@
 use mugi::arch::noc::NocConfig;
 use mugi::MugiAccelerator;
 use mugi_runtime::{
-    pages_for, synthetic_requests, Executor, ExecutorConfig, KvConfig, Placement, Request,
-    Scheduler, SchedulerConfig, SchedulingPolicy, WorkloadSpec,
+    pages_for, synthetic_requests, Executor, ExecutorConfig, KvConfig, KvFreePages, Placement,
+    Request, Scheduler, SchedulerConfig, SchedulingPolicy, WorkloadSpec,
 };
 use mugi_workloads::models::ModelId;
 
@@ -69,7 +69,7 @@ fn deterministic_overload_preempts_and_every_request_completes() {
     }
     // All pages came home.
     assert_eq!(engine.scheduler().kv_used_pages(), 0);
-    assert_eq!(engine.kv_free_pages(0), Some(max_need + 1));
+    assert_eq!(engine.kv_free_pages(0).pages(), Some(max_need + 1));
     // Per-session preemption counters sum to the report's, and preempted
     // sessions really did extra prefill work (their final prefill target
     // grew past the plain prompt by the generated entries they rebuilt).
@@ -250,4 +250,50 @@ fn soak_pool_sizes_policies_and_placements_all_drain() {
             }
         }
     }
+}
+
+/// Regression for the `unwrap_or(usize::MAX)` placement bug: both engines'
+/// idle-node sorts rank nodes by `Executor::kv_free_pages`, which used to
+/// answer `None` for an out-of-range pool index — indistinguishable from an
+/// unbounded pool, so an indexing bug would silently rank the broken node
+/// as infinitely free. Valid indices must answer with the real headroom on
+/// every node of a bounded multi-pool placement.
+#[test]
+fn idle_sort_headroom_is_bounded_on_every_valid_node() {
+    let mut ex = Executor::with_placement(
+        MugiAccelerator::new(64),
+        Scheduler::with_kv(SchedulerConfig::default(), KvConfig::bounded(32, 8)),
+        ExecutorConfig { kv_bucket: 32, ..ExecutorConfig::default() },
+        Placement::data_parallel(NocConfig { rows: 2, cols: 2 }),
+    );
+    ex.submit(Request::new(ModelId::Llama2_7b, 16, 1));
+    for node in 0..4 {
+        assert_eq!(
+            ex.kv_free_pages(node),
+            KvFreePages::Pages(8),
+            "node {node} must report its own bounded pool"
+        );
+    }
+    // Unbounded configurations keep the explicit unbounded state instead.
+    let unb = Executor::with_placement(
+        MugiAccelerator::new(64),
+        Scheduler::new(SchedulerConfig::default()),
+        ExecutorConfig::default(),
+        Placement::data_parallel(NocConfig { rows: 2, cols: 2 }),
+    );
+    assert_eq!(unb.kv_free_pages(3), KvFreePages::Unbounded);
+}
+
+/// The other half of the regression: an out-of-range node→pool mapping now
+/// fails loudly at the shared accessor both idle sorts go through.
+#[test]
+#[should_panic(expected = "out of range")]
+fn idle_sort_headroom_panics_past_the_last_bounded_pool() {
+    let ex = Executor::with_placement(
+        MugiAccelerator::new(64),
+        Scheduler::with_kv(SchedulerConfig::default(), KvConfig::bounded(32, 8)),
+        ExecutorConfig { kv_bucket: 32, ..ExecutorConfig::default() },
+        Placement::data_parallel(NocConfig { rows: 2, cols: 2 }),
+    );
+    let _ = ex.kv_free_pages(4); // one past the 2x2 mesh
 }

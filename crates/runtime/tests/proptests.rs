@@ -322,6 +322,57 @@ proptest! {
     }
 
     #[test]
+    fn prefill_backlog_ledger_matches_the_scan_it_replaced(
+        requests in prop::collection::vec(small_request_strategy(), 1..10),
+        headroom in 0usize..3,
+    ) {
+        // The incremental pending-prefill ledger must agree with the
+        // live-session scan it replaced at *every* step and *every* arrival
+        // cutoff — including mid-run, with evictions re-crediting recompute
+        // debt and chunked prefills debiting it, which is exactly where an
+        // incremental counter would drift if any mutation site were missed.
+        let page_tokens = 32;
+        let max_need = requests
+            .iter()
+            .map(|r| pages_for(r.prompt_tokens + r.output_tokens, page_tokens))
+            .max()
+            .unwrap();
+        let kv = KvConfig::bounded(page_tokens, max_need + headroom);
+        let mut ex = Executor::with_placement(
+            MugiAccelerator::new(64),
+            Scheduler::with_kv(SchedulerConfig::default(), kv),
+            ExecutorConfig { kv_bucket: page_tokens, ..ExecutorConfig::default() },
+            Placement::data_parallel(NocConfig { rows: 2, cols: 2 }),
+        );
+        for r in &requests {
+            ex.submit(*r);
+        }
+        let mut probes: Vec<u64> =
+            requests.iter().map(|r| r.arrival_cycle).collect();
+        probes.extend([0, 1, 250, u64::MAX]);
+        loop {
+            for &probe in &probes {
+                let scanned: u64 = ex
+                    .scheduler()
+                    .sessions()
+                    .iter()
+                    .filter(|s| !s.is_finished() && s.request.arrival_cycle <= probe)
+                    .map(|s| s.remaining_prefill() as u64)
+                    .sum();
+                prop_assert_eq!(ex.scheduler().prefill_backlog_at(probe), scanned);
+            }
+            prop_assert_eq!(
+                ex.scheduler().prefill_backlog_at(u64::MAX),
+                ex.scheduler().pending_prefill_total()
+            );
+            if !ex.step() {
+                break;
+            }
+        }
+        prop_assert_eq!(ex.scheduler().pending_prefill_total(), 0, "drained runs owe nothing");
+    }
+
+    #[test]
     fn unbounded_pool_is_bit_identical_to_a_never_full_bounded_one(
         requests in prop::collection::vec(small_request_strategy(), 1..8),
         spf in any::<bool>(),
@@ -686,5 +737,36 @@ proptest! {
             }
         }
         prop_assert_eq!(arena.peak_live(), model_peak);
+    }
+}
+
+proptest! {
+    /// The SLO calibrator is conservative by construction: whenever it
+    /// publishes a rate, that rate is at least the cumulative measured mean
+    /// (rounded up) — so calibrated admission never accepts a request the
+    /// true measured mean rate would have rejected — and at least 1. Before
+    /// warmup it publishes nothing.
+    #[test]
+    fn calibrator_rate_never_undercuts_the_measured_mean(
+        sample_tokens in prop::collection::vec(1u64..5_000, 1..64),
+        sample_cycles in prop::collection::vec(1u64..50_000_000_000, 1..64),
+        warmup in 1u64..4_096,
+        shift in 0u32..8,
+    ) {
+        let mut cal = mugi_runtime::SloCalibrator::new(warmup, shift);
+        let (mut tokens_total, mut cycles_total) = (0u64, 0u64);
+        for (&tokens, &cycles) in sample_tokens.iter().zip(sample_cycles.iter()) {
+            cal.observe(tokens, cycles);
+            tokens_total += tokens;
+            cycles_total += cycles;
+            match cal.rate() {
+                Some(rate) => {
+                    prop_assert!(tokens_total >= warmup.max(1));
+                    prop_assert!(rate >= cycles_total.div_ceil(tokens_total));
+                    prop_assert!(rate >= 1);
+                }
+                None => prop_assert!(tokens_total < warmup.max(1)),
+            }
+        }
     }
 }
