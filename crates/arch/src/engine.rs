@@ -89,6 +89,13 @@ impl EventEngine {
         Self::default()
     }
 
+    /// Creates an empty engine with room for `events` submissions, so a
+    /// caller that knows its trace size (the performance model submits two
+    /// events per GEMM and one per nonlinear) avoids incremental growth.
+    pub fn with_capacity(events: usize) -> Self {
+        EventEngine { events: Vec::with_capacity(events) }
+    }
+
     /// Submits an event; returns its index (usable as a dependency handle by
     /// reading the completion time from the schedule).
     pub fn submit(&mut self, event: Event) -> usize {

@@ -139,7 +139,7 @@ impl PerfModel {
     /// model, returning the node-level performance.
     pub fn run_trace(&self, trace: &OpTrace) -> NodePerformance {
         let cost = self.design.cost_model();
-        let mut engine = EventEngine::new();
+        let mut engine = EventEngine::with_capacity(trace.layer_ops.len() * 2);
         let mut cycle_breakdown = CategoryBreakdown::default();
         let mut energy_breakdown = CategoryBreakdown::default();
         let mut hbm_energy_pj = 0.0;

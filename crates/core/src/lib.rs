@@ -47,7 +47,8 @@ pub use mugi_numerics as numerics;
 pub use mugi_vlp as vlp;
 pub use mugi_workloads as workloads;
 
-use crate::memo::{shape_hash, ShapeCache};
+pub use crate::memo::shape_hash;
+use crate::memo::ShapeCache;
 use mugi_arch::designs::{Design, DesignConfig};
 use mugi_arch::noc::NocConfig;
 use mugi_arch::perf::{PerfModel, WorkloadPerformance};
@@ -88,16 +89,20 @@ struct PerfKey {
     noc: NocConfig,
 }
 
-/// Traces cached per accelerator before the LRU half is evicted.
-/// Micro-batch shapes recur heavily under continuous batching (decode
-/// contexts are bucketed by the runtime), so a few thousand entries is far
-/// more than a steady state needs; the cap only bounds pathological
-/// workloads.
+/// Traces cached per accelerator before the LRU half is evicted. Traces
+/// are the heavy entries (an op list per layer), and they are only
+/// consulted when the perf memo misses — once the perf cache is warm they
+/// are never touched again — so their cap stays well below the perf
+/// cache's to bound resident memory.
 const TRACE_CACHE_CAP: usize = 4096;
 
 /// Memoized performance estimates cached before the LRU half is evicted.
-/// Entries are small `Copy` structs, so the cap matches the trace cache's.
-const PERF_CACHE_CAP: usize = 4096;
+/// Entries are small `Copy` structs, so the cap is generous: long-stream
+/// continuous batching touches several thousand distinct micro-batch
+/// shapes (decode widths × prefill-length combinations), and an evicted
+/// shape costs a full trace generation plus performance-model evaluation
+/// to re-learn — the single most expensive steady-state event.
+const PERF_CACHE_CAP: usize = 16384;
 
 /// A single-node Mugi accelerator: the paper's contribution wrapped in one
 /// object that exposes functional execution (GEMM, nonlinear approximation)

@@ -17,9 +17,110 @@
 //!   wholesale, so the steady-state decode shapes that hit every step
 //!   survive a flood of cold one-off shapes.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasher, Hash, Hasher};
+
+/// Deterministic multiply–rotate hasher (Fx-style) for shape keys: one
+/// multiply per written word instead of SipHash's per-byte rounds. The
+/// serving hot path hashes a whole `&[BatchSlice]` once per scheduler step,
+/// so hashing cost is first-order; collision quality only costs an extra
+/// equality-predicate probe (entries chain per bucket), and there is no
+/// per-process seed, so hashes — like everything else in the simulator —
+/// are process-deterministic.
+#[derive(Clone, Debug, Default)]
+struct ShapeHasher(u64);
+
+/// Odd multiplier from the golden ratio (the Firefox/rustc hash constant).
+const SHAPE_HASH_K: u64 = 0x517c_c1b7_2722_0a95;
+
+impl ShapeHasher {
+    #[inline]
+    fn round(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(SHAPE_HASH_K);
+    }
+}
+
+impl Hasher for ShapeHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Fold the well-mixed high bits into the low bits: multiply-based
+        // hashes propagate entropy upward, while the bucket map indexes by
+        // the low bits.
+        self.0 ^ (self.0 >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            // mugi-lint: allow(hot-path-panic, "chunks(8) yields slices of at most 8 bytes, so the range is always in bounds")
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.round(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.round(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.round(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.round(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.round(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.round(v as u64);
+    }
+}
+
+/// Build-hasher for the bucket map, whose keys *are* precomputed 64-bit
+/// shape hashes: pass them through instead of re-hashing (the default
+/// `HashMap` state would SipHash every already-hashed key again on each
+/// probe).
+#[derive(Clone, Debug, Default)]
+struct Prehashed(u64);
+
+impl BuildHasher for Prehashed {
+    type Hasher = Prehashed;
+
+    #[inline]
+    fn build_hasher(&self) -> Prehashed {
+        Prehashed(0)
+    }
+}
+
+impl Hasher for Prehashed {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Unused by `u64` keys (which write through `write_u64`); fold
+        // bytes anyway so the hasher stays total.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(SHAPE_HASH_K);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
 
 /// One cached entry: the owned key, the value and the last-use tick that
 /// drives eviction.
@@ -34,8 +135,9 @@ struct Slot<K, V> {
 /// equality predicate, so lookups never materialize an owned key.
 #[derive(Clone, Debug)]
 pub(crate) struct ShapeCache<K, V> {
-    /// Hash-indexed buckets; collisions chain in the bucket's `Vec`.
-    buckets: HashMap<u64, Vec<Slot<K, V>>>,
+    /// Hash-indexed buckets; collisions chain in the bucket's `Vec`. The
+    /// map's keys are already hashes, so the state passes them through.
+    buckets: HashMap<u64, Vec<Slot<K, V>>, Prehashed>,
     /// Total entries across buckets.
     len: usize,
     /// Entry cap: an insert at the cap evicts the LRU half first.
@@ -48,7 +150,7 @@ impl<K, V: Clone> ShapeCache<K, V> {
     /// An empty cache holding at most `cap` entries.
     pub(crate) fn with_cap(cap: usize) -> Self {
         assert!(cap >= 2, "a capped cache needs room for at least two entries");
-        ShapeCache { buckets: HashMap::new(), len: 0, cap, tick: 0 }
+        ShapeCache { buckets: HashMap::default(), len: 0, cap, tick: 0 }
     }
 
     /// Number of cached entries.
@@ -120,11 +222,13 @@ impl<K, V: Clone> ShapeCache<K, V> {
     }
 }
 
-/// Hashes a borrowed shape with the process-deterministic default hasher.
-/// Both cache layers key on this, so a hit costs one hash of the borrowed
-/// slices — never an owned-key materialization.
-pub(crate) fn shape_hash(parts: &impl Hash) -> u64 {
-    let mut hasher = DefaultHasher::new();
+/// Hashes a borrowed shape with the process-deterministic `ShapeHasher`.
+/// Both cache layers key on this, so a hit costs one multiply-per-word pass
+/// over the borrowed slices — never an owned-key materialization, and never
+/// a SipHash round. Public so front-side memos (the runtime executor's
+/// dispatch cache) can index by the same deterministic hash.
+pub fn shape_hash(parts: &impl Hash) -> u64 {
+    let mut hasher = ShapeHasher::default();
     parts.hash(&mut hasher);
     hasher.finish()
 }

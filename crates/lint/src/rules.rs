@@ -174,8 +174,8 @@ const UNORDERED_ITER_METHODS: [&str; 11] = [
 const SIMULATION_CRATES: [&str; 4] = ["arch", "core", "runtime", "workloads"];
 
 /// Hot-path files for R5 (matched on basename, under any simulation crate).
-const HOT_PANIC_FILES: [&str; 5] =
-    ["engine.rs", "scheduler.rs", "executor.rs", "memo.rs", "control.rs"];
+const HOT_PANIC_FILES: [&str; 6] =
+    ["engine.rs", "scheduler.rs", "executor.rs", "memo.rs", "control.rs", "kv.rs"];
 
 /// Whether `path` is a cycle/byte-accounting hot-path module for R4.
 fn is_hot_cast_path(path: &str) -> bool {

@@ -44,6 +44,16 @@ pub fn u32_from_usize(x: usize) -> u32 {
     u32::try_from(x).expect("counter exceeds u32")
 }
 
+/// `u32` → `usize` (infallible on every supported target, but proven by
+/// `try_from` rather than assumed by `as`).
+///
+/// # Panics
+/// Panics if `usize` is narrower than 32 bits (no supported target).
+#[inline]
+pub fn usize_from_u32(x: u32) -> usize {
+    usize::try_from(x).expect("usize narrower than 32 bits")
+}
+
 /// `f64` → `u64` for a value that must already be an exact non-negative
 /// integer in the `f64`-exact range (e.g. the output of `round`/`ceil` on a
 /// bounded quantity). Unlike `as`, which saturates and maps NaN to zero,
@@ -84,6 +94,7 @@ mod tests {
             assert_eq!(usize_from_f64(f), f as usize);
         }
         assert_eq!(u32_from_usize(123), 123);
+        assert_eq!(usize_from_u32(u32::MAX), u32::MAX as usize);
     }
 
     #[test]

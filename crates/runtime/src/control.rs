@@ -1,8 +1,9 @@
 //! The adaptive control plane: a feedback controller sampled at
 //! batch-completion boundaries.
 //!
-//! A static disaggregated split ([`PlacementPolicy::Disaggregated`]
-//! (crate::placement::PlacementPolicy)) fixes the prefill:decode node ratio
+//! A static disaggregated split
+//! ([`Disaggregated`](crate::placement::PlacementPolicy::Disaggregated))
+//! fixes the prefill:decode node ratio
 //! for the whole run, and a static [`SloConfig`](crate::kv::SloConfig) fixes
 //! the service-rate estimate its admission check projects TTFT with. Both
 //! are guesses about the workload, and both go stale the moment the

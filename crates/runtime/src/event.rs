@@ -414,16 +414,17 @@ impl EventEngine {
         stream: &mut Peekable<impl Iterator<Item = Request>>,
         fold: &mut Option<StatsFold>,
     ) -> bool {
-        'outer: loop {
+        let mut idle = std::mem::take(&mut self.ex.idle_scratch);
+        let advanced = 'outer: loop {
             if self.ex.in_flight.is_empty()
                 && self.ex.scheduler.all_finished()
                 && self.queue.is_empty()
                 && stream.peek().is_none()
             {
-                return false;
+                break false;
             }
-            let mut idle: Vec<usize> =
-                (0..self.ex.pool.len()).filter(|&i| !self.ex.occupied(i)).collect();
+            idle.clear();
+            idle.extend((0..self.ex.pool.len()).filter(|&i| !self.ex.occupied(i)));
             if idle.is_empty() {
                 // Every node is busy: the next event must land first (the
                 // oracle finishes its earliest completion; an earlier staged
@@ -462,7 +463,7 @@ impl EventEngine {
                     self.ex.dispatch(node, batch, node_now);
                     let flight = self.ex.in_flight.last().expect("dispatch queued a batch");
                     self.queue.push_completion(flight.end, flight.seq);
-                    return true;
+                    break 'outer true;
                 }
             }
             // Nothing runnable on any idle node's clock: wait for the next
@@ -482,12 +483,14 @@ impl EventEngine {
                 }
             };
             self.ex.pool.wait_all_until(next);
-        }
+        };
+        self.ex.idle_scratch = idle;
+        advanced
     }
 
     /// Builds the folded report for the completed run.
     fn scale_report(&self, fold: StatsFold) -> ScaleReport {
-        let freq = self.ex.accelerator().frequency_hz();
+        let freq = self.ex.cost.frequency_hz;
         let makespan_s = self.ex.clock_cycles() as f64 / freq;
         let throughput_tokens_per_s =
             if makespan_s > 0.0 { fold.output_tokens as f64 / makespan_s } else { 0.0 };

@@ -29,14 +29,28 @@
 //! to a world without KV accounting. That makes the bounded path a pure
 //! opt-in and gives the property tests a regression oracle.
 //!
+//! Physically, pages live in a two-level free bitmap per pool and are
+//! handed out as [`Extent`]s — maximal runs of contiguous pages, lowest
+//! address first — so a session's table is a short extent list, decode
+//! growth is usually an in-place extension of its last extent, and
+//! release/migration move extents rather than pages. None of this is
+//! observable in the simulation: all accounting is in page *counts* and
+//! bytes, allocation succeeds exactly when `free >= n`, and the pre-extent
+//! free-list allocator is retained in [`oracle`] as the property-test
+//! reference.
+//!
 //! Pool invariants (property-tested in `tests/proptests.rs`):
 //!
 //! * a page is mapped by at most one table at a time (never double-mapped);
 //! * `free + Σ mapped == capacity` after any sequence of operations;
 //! * a table always maps at least [`pages_for`]`(kv_len)` pages while its
-//!   session is live.
+//!   session is live;
+//! * the extent allocator maps the same page *set* as [`oracle`] under
+//!   identical operation sequences.
 
-use mugi_numerics::cast::{u32_from_usize, usize_from_u64};
+// mugi-lint: allow(hot-path-panic, "bitmap word/summary indices are derived from page ids bounded by the pool capacity, and panics enforce allocator invariants (exhausted-pool scan, double map/free); a deterministic simulator must abort on corrupt pool state rather than guess")
+
+use mugi_numerics::cast::{u32_from_usize, usize_from_u32, usize_from_u64};
 use mugi_workloads::models::ModelId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -295,20 +309,56 @@ impl KvFreePages {
     }
 }
 
+/// A run of `len` physically contiguous KV pages starting at page `start` —
+/// the unit the extent allocator hands out and reclaims. A session's whole
+/// context is typically one or two extents, so releasing, migrating or
+/// hashing a table is O(extents), not O(pages).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Extent {
+    /// First page of the run.
+    pub start: u32,
+    /// Pages in the run (never zero for a mapped extent).
+    pub len: u32,
+}
+
+impl Extent {
+    /// One past the last page of the run.
+    pub fn end(self) -> u32 {
+        self.start + self.len
+    }
+}
+
+/// Bits per free-bitmap word.
+const WORD_BITS: usize = 64;
+
+/// A contiguous bit mask of `len` bits starting at bit `lo` (`lo + len` must
+/// not exceed the word).
+fn bit_mask(lo: usize, len: usize) -> u64 {
+    debug_assert!(len >= 1 && lo + len <= WORD_BITS);
+    (u64::MAX >> (WORD_BITS - len)) << lo
+}
+
 /// A bounded pool of physical KV pages (one per node under data-parallel
 /// placement; one aggregate pool under sharded placement).
 ///
-/// Pages are handed out from an explicit free list, so a page is never
-/// mapped twice, and `free_pages() + (capacity - free) == capacity` holds by
-/// construction; the interesting invariant — that every *mapped* page is
-/// accounted to exactly one table — is property-tested against random
-/// allocate/release sequences.
+/// Free pages are tracked in a two-level bitmap: `words[w]` holds one bit
+/// per page (set = free) and `summary` holds one bit per word (set = the
+/// word has a free page), so finding the lowest free page is two word scans
+/// plus two `trailing_zeros`, and allocation hands out *extents* — maximal
+/// runs of contiguous free pages, lowest address first. Allocation is
+/// deterministic, never fails while `free_pages() >= n` (fragmentation
+/// yields more extents, never a refusal), and a page is never mapped twice:
+/// `free + Σ mapped == capacity` is property-tested against the retained
+/// pre-extent free-list implementation ([`oracle`]).
 #[derive(Clone, Debug)]
 pub struct KvPool {
     capacity: usize,
-    /// LIFO free list: recently released pages are reused first, which keeps
-    /// page ids dense and deterministic.
-    free: Vec<PageId>,
+    /// Count of set bits across `words`.
+    free: usize,
+    /// One bit per page; set = free.
+    words: Vec<u64>,
+    /// One bit per word of `words`; set = that word is non-zero.
+    summary: Vec<u64>,
     peak_used: usize,
 }
 
@@ -319,9 +369,24 @@ impl KvPool {
     /// Panics if `capacity` is zero.
     pub fn bounded(capacity: usize) -> Self {
         assert!(capacity > 0, "a KV pool needs at least one page");
-        // Reversed so page p0 is handed out first (LIFO free list).
-        let free = (0..u32_from_usize(capacity)).rev().map(PageId).collect();
-        KvPool { capacity, free, peak_used: 0 }
+        let _ = u32_from_usize(capacity); // page ids must stay u32-addressable
+        let n_words = capacity.div_ceil(WORD_BITS);
+        let mut words = vec![u64::MAX; n_words];
+        let tail = capacity % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = words.last_mut() {
+                *last = bit_mask(0, tail);
+            }
+        }
+        let mut summary = vec![0u64; n_words.div_ceil(WORD_BITS)];
+        for (w, word) in words.iter().enumerate() {
+            if *word != 0 {
+                if let Some(s) = summary.get_mut(w / WORD_BITS) {
+                    *s |= 1 << (w % WORD_BITS);
+                }
+            }
+        }
+        KvPool { capacity, free: capacity, words, summary, peak_used: 0 }
     }
 
     /// Total pages the pool holds.
@@ -331,12 +396,12 @@ impl KvPool {
 
     /// Pages currently unmapped.
     pub fn free_pages(&self) -> usize {
-        self.free.len()
+        self.free
     }
 
     /// Pages currently mapped by some table.
     pub fn used_pages(&self) -> usize {
-        self.capacity - self.free.len()
+        self.capacity - self.free
     }
 
     /// High-water mark of mapped pages.
@@ -344,33 +409,124 @@ impl KvPool {
         self.peak_used
     }
 
-    /// Takes `n` pages from the free list, or `None` (pool unchanged) if
-    /// fewer than `n` are free.
-    pub fn alloc(&mut self, n: usize) -> Option<Vec<PageId>> {
-        if self.free.len() < n {
-            return None;
-        }
-        let pages = self.free.split_off(self.free.len() - n);
-        self.peak_used = self.peak_used.max(self.used_pages());
-        Some(pages)
-    }
-
-    /// Returns pages to the free list.
+    /// The lowest free page, via the summary level then the word level.
     ///
     /// # Panics
-    /// Panics (in debug builds) if releasing would exceed the capacity —
+    /// Panics if no page is free (callers check `free` first).
+    fn lowest_free_page(&self) -> u32 {
+        for (sw, &bits) in self.summary.iter().enumerate() {
+            if bits != 0 {
+                let w = sw * WORD_BITS + usize_from_u32(bits.trailing_zeros());
+                let word = self.words[w];
+                return u32_from_usize(w * WORD_BITS) + word.trailing_zeros();
+            }
+        }
+        panic!("lowest_free_page on an exhausted pool");
+    }
+
+    /// Length of the run of free pages starting exactly at `start`, capped
+    /// at `cap` (zero when `start` itself is not free).
+    fn free_run_len(&self, start: u32, cap: u32) -> u32 {
+        let mut len = 0u32;
+        let mut w = start as usize / WORD_BITS;
+        let mut b = start % u32_from_usize(WORD_BITS);
+        while len < cap && w < self.words.len() {
+            // Shifting in zeros from the top means `trailing_zeros` of the
+            // complement never over-counts past the word's remaining bits.
+            let run = (!(self.words[w] >> b)).trailing_zeros();
+            len += run;
+            if run < u32_from_usize(WORD_BITS) - b {
+                break;
+            }
+            w += 1;
+            b = 0;
+        }
+        len.min(cap)
+    }
+
+    /// Flips the `len` bits from `page` on: `set` marks them free, `!set`
+    /// marks them used. Keeps `summary` coherent. Debug-asserts the bits
+    /// were all in the opposite state (double-free / double-map detection).
+    fn flip_range(&mut self, page: u32, len: u32, set: bool) {
+        let mut at = page as usize;
+        let end = at + len as usize;
+        debug_assert!(end <= self.capacity, "page run beyond pool capacity");
+        while at < end {
+            let w = at / WORD_BITS;
+            let b = at % WORD_BITS;
+            let take = (WORD_BITS - b).min(end - at);
+            let mask = bit_mask(b, take);
+            if set {
+                debug_assert_eq!(self.words[w] & mask, 0, "freeing a page that is already free");
+                self.words[w] |= mask;
+                self.summary[w / WORD_BITS] |= 1 << (w % WORD_BITS);
+            } else {
+                debug_assert_eq!(self.words[w] & mask, mask, "mapping a page that is not free");
+                self.words[w] &= !mask;
+                if self.words[w] == 0 {
+                    self.summary[w / WORD_BITS] &= !(1 << (w % WORD_BITS));
+                }
+            }
+            at += take;
+        }
+    }
+
+    /// Allocates exactly `n` pages as lowest-address-first extents appended
+    /// to `out`, or returns `false` (pool and `out` unchanged) if fewer than
+    /// `n` pages are free. Fragmentation costs extra extents, never a
+    /// spurious failure — the success condition is `free_pages() >= n`,
+    /// exactly as with the pre-extent free list.
+    pub fn alloc_extents(&mut self, n: usize, out: &mut Vec<Extent>) -> bool {
+        if self.free < n {
+            return false;
+        }
+        let mut remaining = u32_from_usize(n);
+        while remaining > 0 {
+            let start = self.lowest_free_page();
+            let len = self.free_run_len(start, remaining);
+            self.flip_range(start, len, false);
+            out.push(Extent { start, len });
+            remaining -= len;
+        }
+        self.free -= n;
+        self.peak_used = self.peak_used.max(self.used_pages());
+        true
+    }
+
+    /// Extends an allocation in place: takes up to `want` free pages
+    /// starting exactly at page `at`, returning how many were taken (zero if
+    /// `at` is used or past the end). The O(1)-ish decode-growth path: when
+    /// the pages right after a table's last extent are still free, growth
+    /// lengthens that extent instead of adding one.
+    pub fn extend_at(&mut self, at: u32, want: u32) -> u32 {
+        if at as usize >= self.capacity {
+            return 0;
+        }
+        let got = self.free_run_len(at, want);
+        if got > 0 {
+            self.flip_range(at, got, false);
+            self.free -= usize_from_u32(got);
+            self.peak_used = self.peak_used.max(self.used_pages());
+        }
+        got
+    }
+
+    /// Returns an extent's pages to the pool.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if any page of the run is already free —
     /// a sign a page was double-mapped or released twice.
-    pub fn release(&mut self, pages: Vec<PageId>) {
-        debug_assert!(
-            self.free.len() + pages.len() <= self.capacity,
-            "released more pages than the pool holds"
-        );
-        self.free.extend(pages);
+    pub fn release_run(&mut self, extent: Extent) {
+        self.flip_range(extent.start, extent.len, true);
+        self.free += extent.len as usize;
+        debug_assert!(self.free <= self.capacity, "released more pages than the pool holds");
     }
 }
 
 /// The per-session map from a session's KV entries to the physical pages of
-/// the pool its KV lives on.
+/// the pool its KV lives on — a compact list of [`Extent`]s plus a cached
+/// page count, so growth is usually an in-place extension of the last
+/// extent and release/migration walk extents, not pages.
 ///
 /// `home` pins the session to one pool once its first page is allocated:
 /// under data-parallel placement a session's KV physically lives on one
@@ -378,7 +534,8 @@ impl KvPool {
 /// table forgets its home when it releases all pages (eviction or finish).
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PageTable {
-    pages: Vec<PageId>,
+    extents: Vec<Extent>,
+    pages: usize,
     home: Option<usize>,
 }
 
@@ -390,12 +547,18 @@ impl PageTable {
 
     /// Pages currently mapped.
     pub fn mapped_pages(&self) -> usize {
-        self.pages.len()
+        self.pages
     }
 
-    /// The mapped page handles.
-    pub fn pages(&self) -> &[PageId] {
-        &self.pages
+    /// The mapped extents, in allocation order.
+    pub fn extents(&self) -> &[Extent] {
+        &self.extents
+    }
+
+    /// Every mapped page handle, in extent order (a test/diagnostic view —
+    /// hot paths never enumerate pages).
+    pub fn page_ids(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.extents.iter().flat_map(|e| (e.start..e.end()).map(PageId))
     }
 
     /// Pool index the session's KV lives on, or `None` while no page is
@@ -414,18 +577,32 @@ impl PageTable {
     /// (pool index `pool_id`). No-op if the table already maps that many.
     /// Returns `false` (nothing allocated) if the pool lacks free pages.
     ///
+    /// Growth first tries to lengthen the table's last extent in place
+    /// (the common decode step: the adjacent pages are usually still free),
+    /// and only then asks the pool for fresh extents.
+    ///
     /// # Panics
     /// Panics if the table is homed to a different pool.
     pub fn grow(&mut self, pool_id: usize, pool: &mut KvPool, target_pages: usize) -> bool {
         assert!(self.admissible_on(pool_id), "page table homed to a different pool");
-        let needed = target_pages.saturating_sub(self.pages.len());
+        let needed = target_pages.saturating_sub(self.pages);
         if needed == 0 {
             return true;
         }
-        let Some(mut fresh) = pool.alloc(needed) else {
+        if pool.free_pages() < needed {
             return false;
-        };
-        self.pages.append(&mut fresh);
+        }
+        let mut remaining = u32_from_usize(needed);
+        if let Some(last) = self.extents.last_mut() {
+            let got = pool.extend_at(last.end(), remaining);
+            last.len += got;
+            remaining -= got;
+        }
+        if remaining > 0 {
+            let ok = pool.alloc_extents(usize_from_u32(remaining), &mut self.extents);
+            debug_assert!(ok, "free pages were checked before growing");
+        }
+        self.pages = target_pages;
         self.home = Some(pool_id);
         true
     }
@@ -433,8 +610,11 @@ impl PageTable {
     /// Releases every mapped page back into `pool` and forgets the home.
     /// Returns how many pages were released.
     pub fn release_all(&mut self, pool: &mut KvPool) -> usize {
-        let released = self.pages.len();
-        pool.release(std::mem::take(&mut self.pages));
+        for e in self.extents.drain(..) {
+            pool.release_run(e);
+        }
+        let released = self.pages;
+        self.pages = 0;
         self.home = None;
         released
     }
@@ -450,13 +630,166 @@ impl PageTable {
     /// Panics if the table maps no pages (nothing to migrate) or if `to_id`
     /// is the table's current home (a self-migration is a bug).
     pub fn migrate(&mut self, from: &mut KvPool, to_id: usize, to: &mut KvPool) -> Option<usize> {
-        assert!(!self.pages.is_empty(), "an empty table has nothing to migrate");
+        assert!(!self.extents.is_empty(), "an empty table has nothing to migrate");
         assert_ne!(self.home, Some(to_id), "migration target is already the home pool");
-        let count = self.pages.len();
-        let fresh = to.alloc(count)?;
-        from.release(std::mem::replace(&mut self.pages, fresh));
+        let count = self.pages;
+        if to.free_pages() < count {
+            return None;
+        }
+        for e in self.extents.drain(..) {
+            from.release_run(e);
+        }
+        let ok = to.alloc_extents(count, &mut self.extents);
+        debug_assert!(ok, "free pages were checked before migrating");
         self.home = Some(to_id);
         Some(count)
+    }
+}
+
+/// The pre-extent page allocator — a LIFO `Vec<PageId>` free list and
+/// per-page tables — retained verbatim as the reference implementation the
+/// extent allocator is property-tested against (`tests/proptests.rs` drives
+/// both on identical operation sequences and compares mapped page *sets*
+/// and every count). Not used on any serving path.
+pub mod oracle {
+    use super::{u32_from_usize, PageId};
+
+    /// Pre-extent [`KvPool`](super::KvPool): an explicit LIFO free list.
+    #[derive(Clone, Debug)]
+    pub struct Pool {
+        capacity: usize,
+        free: Vec<PageId>,
+        peak_used: usize,
+    }
+
+    impl Pool {
+        /// A pool of `capacity` free pages.
+        ///
+        /// # Panics
+        /// Panics if `capacity` is zero.
+        pub fn bounded(capacity: usize) -> Self {
+            assert!(capacity > 0, "a KV pool needs at least one page");
+            // Reversed so page p0 is handed out first (LIFO free list).
+            let free = (0..u32_from_usize(capacity)).rev().map(PageId).collect();
+            Pool { capacity, free, peak_used: 0 }
+        }
+
+        /// Total pages the pool holds.
+        pub fn capacity(&self) -> usize {
+            self.capacity
+        }
+
+        /// Pages currently unmapped.
+        pub fn free_pages(&self) -> usize {
+            self.free.len()
+        }
+
+        /// Pages currently mapped by some table.
+        pub fn used_pages(&self) -> usize {
+            self.capacity - self.free.len()
+        }
+
+        /// High-water mark of mapped pages.
+        pub fn peak_used_pages(&self) -> usize {
+            self.peak_used
+        }
+
+        /// Takes `n` pages from the free list, or `None` (pool unchanged)
+        /// if fewer than `n` are free.
+        pub fn alloc(&mut self, n: usize) -> Option<Vec<PageId>> {
+            if self.free.len() < n {
+                return None;
+            }
+            let pages = self.free.split_off(self.free.len() - n);
+            self.peak_used = self.peak_used.max(self.used_pages());
+            Some(pages)
+        }
+
+        /// Returns pages to the free list.
+        pub fn release(&mut self, pages: Vec<PageId>) {
+            debug_assert!(
+                self.free.len() + pages.len() <= self.capacity,
+                "released more pages than the pool holds"
+            );
+            self.free.extend(pages);
+        }
+    }
+
+    /// Pre-extent [`PageTable`](super::PageTable): one handle per page.
+    #[derive(Clone, Debug, Default, PartialEq, Eq)]
+    pub struct Table {
+        pages: Vec<PageId>,
+        home: Option<usize>,
+    }
+
+    impl Table {
+        /// An empty, homeless table.
+        pub fn new() -> Self {
+            Table::default()
+        }
+
+        /// Pages currently mapped.
+        pub fn mapped_pages(&self) -> usize {
+            self.pages.len()
+        }
+
+        /// The mapped page handles.
+        pub fn pages(&self) -> &[PageId] {
+            &self.pages
+        }
+
+        /// Pool index the session's KV lives on, or `None` while no page
+        /// is mapped.
+        pub fn home(&self) -> Option<usize> {
+            self.home
+        }
+
+        /// Whether the table may allocate from pool `pool`.
+        pub fn admissible_on(&self, pool: usize) -> bool {
+            self.home.is_none_or(|h| h == pool)
+        }
+
+        /// Grows the table to `target_pages` mapped pages out of `pool`.
+        ///
+        /// # Panics
+        /// Panics if the table is homed to a different pool.
+        pub fn grow(&mut self, pool_id: usize, pool: &mut Pool, target_pages: usize) -> bool {
+            assert!(self.admissible_on(pool_id), "page table homed to a different pool");
+            let needed = target_pages.saturating_sub(self.pages.len());
+            if needed == 0 {
+                return true;
+            }
+            let Some(mut fresh) = pool.alloc(needed) else {
+                return false;
+            };
+            self.pages.append(&mut fresh);
+            self.home = Some(pool_id);
+            true
+        }
+
+        /// Releases every mapped page back into `pool` and forgets the
+        /// home. Returns how many pages were released.
+        pub fn release_all(&mut self, pool: &mut Pool) -> usize {
+            let released = self.pages.len();
+            pool.release(std::mem::take(&mut self.pages));
+            self.home = None;
+            released
+        }
+
+        /// Moves every mapped page from `from` into `to` (pool index
+        /// `to_id`), re-homing the table.
+        ///
+        /// # Panics
+        /// Panics if the table maps no pages or `to_id` is already home.
+        pub fn migrate(&mut self, from: &mut Pool, to_id: usize, to: &mut Pool) -> Option<usize> {
+            assert!(!self.pages.is_empty(), "an empty table has nothing to migrate");
+            assert_ne!(self.home, Some(to_id), "migration target is already the home pool");
+            let count = self.pages.len();
+            let fresh = to.alloc(count)?;
+            from.release(std::mem::replace(&mut self.pages, fresh));
+            self.home = Some(to_id);
+            Some(count)
+        }
     }
 }
 
@@ -477,14 +810,81 @@ mod tests {
     fn pool_alloc_release_round_trips_and_tracks_peak() {
         let mut pool = KvPool::bounded(4);
         assert_eq!((pool.capacity(), pool.free_pages(), pool.used_pages()), (4, 4, 0));
-        let a = pool.alloc(3).unwrap();
-        assert_eq!(a, vec![PageId(2), PageId(1), PageId(0)]);
+        let mut a = Vec::new();
+        assert!(pool.alloc_extents(3, &mut a));
+        assert_eq!(a, vec![Extent { start: 0, len: 3 }], "lowest-address-first, one run");
         assert_eq!((pool.free_pages(), pool.used_pages()), (1, 3));
-        assert!(pool.alloc(2).is_none(), "over-allocation must fail");
+        let mut b = Vec::new();
+        assert!(!pool.alloc_extents(2, &mut b), "over-allocation must fail");
+        assert!(b.is_empty());
         assert_eq!(pool.free_pages(), 1, "failed alloc leaves the pool unchanged");
-        pool.release(a);
+        for e in a {
+            pool.release_run(e);
+        }
         assert_eq!((pool.free_pages(), pool.used_pages()), (4, 0));
         assert_eq!(pool.peak_used_pages(), 3);
+    }
+
+    #[test]
+    fn fragmented_pool_hands_out_multiple_extents_but_never_refuses() {
+        let mut pool = KvPool::bounded(8);
+        let (mut a, mut b, mut c) = (Vec::new(), Vec::new(), Vec::new());
+        assert!(pool.alloc_extents(3, &mut a)); // pages 0..3
+        assert!(pool.alloc_extents(2, &mut b)); // pages 3..5
+        assert!(pool.alloc_extents(3, &mut c)); // pages 5..8
+                                                // Free the two outer allocations: holes at 0..3 and 5..8.
+        for e in a.drain(..).chain(c.drain(..)) {
+            pool.release_run(e);
+        }
+        assert_eq!(pool.free_pages(), 6);
+        // Six pages are free but no contiguous run of six exists: the
+        // allocation must still succeed, as two extents.
+        let mut d = Vec::new();
+        assert!(pool.alloc_extents(6, &mut d), "free >= n must always succeed");
+        assert_eq!(d, vec![Extent { start: 0, len: 3 }, Extent { start: 5, len: 3 }]);
+        assert_eq!(pool.free_pages(), 0);
+    }
+
+    #[test]
+    fn extent_runs_cross_bitmap_word_boundaries() {
+        // 130 pages spans three bitmap words; one allocation must come back
+        // as a single extent crossing both boundaries.
+        let mut pool = KvPool::bounded(130);
+        let mut a = Vec::new();
+        assert!(pool.alloc_extents(130, &mut a));
+        assert_eq!(a, vec![Extent { start: 0, len: 130 }]);
+        assert_eq!((pool.free_pages(), pool.used_pages()), (0, 130));
+        for e in a {
+            pool.release_run(e);
+        }
+        assert_eq!(pool.free_pages(), 130);
+        // After a release the summary level must see the words again.
+        let mut b = Vec::new();
+        assert!(pool.alloc_extents(65, &mut b));
+        assert_eq!(b, vec![Extent { start: 0, len: 65 }]);
+    }
+
+    #[test]
+    fn decode_growth_extends_the_last_extent_in_place() {
+        let mut pool = KvPool::bounded(8);
+        let mut table = PageTable::new();
+        assert!(table.grow(0, &mut pool, 1));
+        assert_eq!(table.extents(), &[Extent { start: 0, len: 1 }]);
+        // The adjacent page is free: growth lengthens the extent, O(1).
+        assert!(table.grow(0, &mut pool, 2));
+        assert_eq!(table.extents(), &[Extent { start: 0, len: 2 }]);
+        // A neighbour claims the next page; further growth needs a second
+        // extent past the hole.
+        let mut other = PageTable::new();
+        assert!(other.grow(0, &mut pool, 1));
+        assert_eq!(other.extents(), &[Extent { start: 2, len: 1 }]);
+        assert!(table.grow(0, &mut pool, 4));
+        assert_eq!(table.extents(), &[Extent { start: 0, len: 2 }, Extent { start: 3, len: 2 }]);
+        assert_eq!(table.mapped_pages(), 4);
+        assert_eq!(
+            table.page_ids().collect::<Vec<_>>(),
+            vec![PageId(0), PageId(1), PageId(3), PageId(4)]
+        );
     }
 
     #[test]

@@ -81,8 +81,8 @@ pub use control::{ControlConfig, SloCalibrator};
 pub use event::{Event, EventEngine, EventKind, EventQueue};
 pub use executor::{Executor, ExecutorConfig};
 pub use kv::{
-    pages_for, AdmissionError, KvConfig, KvFreePages, KvPool, PageId, PageTable, PreemptionMode,
-    SloConfig, KV_BITS,
+    pages_for, AdmissionError, Extent, KvConfig, KvFreePages, KvPool, PageId, PageTable,
+    PreemptionMode, SloConfig, KV_BITS,
 };
 pub use placement::{NodePool, Placement, PlacementPolicy, PoolRole};
 pub use request::{Request, RequestId, Session, SessionArena, SessionState};

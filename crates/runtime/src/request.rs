@@ -116,6 +116,14 @@ pub struct Session {
     /// cannot start on one node before the step that produced its input
     /// token finished on another.
     pub ready_cycle: u64,
+    /// Whether the session sits inside an emitted-but-not-yet-completed
+    /// micro-batch. Set by the scheduler at batch formation, cleared at
+    /// completion: a per-session flag in the arena replaces the old
+    /// `BTreeSet` membership probe, so the scheduler's hottest check is one
+    /// load from a session already in cache. Transient scheduling state, not
+    /// part of the serialized session (always `false` between runs).
+    #[serde(skip)]
+    pub in_flight: bool,
 }
 
 impl Session {
@@ -136,6 +144,7 @@ impl Session {
             finish_cycle: None,
             generated_tokens: 0,
             ready_cycle: request.arrival_cycle,
+            in_flight: false,
         }
     }
 

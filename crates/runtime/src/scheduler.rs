@@ -91,7 +91,7 @@ use mugi_numerics::cast::{u64_from_usize, usize_from_u64};
 use mugi_workloads::models::ModelId;
 use mugi_workloads::ops::{BatchSlice, Phase};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Order in which waiting prompts are admitted to the prefill share of a
 /// micro-batch.
@@ -319,9 +319,11 @@ struct ModelQueue {
     /// cursor (wrapping). The cursor must be per-pool — sessions are pinned
     /// to the pool holding their pages, so a cursor shared across pools
     /// would let interleaved per-pool formations rotate past another pool's
-    /// sessions and starve them. A `BTreeMap` (pool count is tiny) so no
-    /// hasher state exists that could ever leak into iteration order.
-    last_decode: BTreeMap<usize, RequestId>,
+    /// sessions and starve them. A dense pool-indexed vector (grown lazily
+    /// to the highest pool that formed a decode batch) so the per-formation
+    /// cursor probe is one bounds-checked load, with no tree walk and no
+    /// hasher state that could ever leak into iteration order.
+    last_decode: Vec<Option<RequestId>>,
 }
 
 impl ModelQueue {
@@ -331,7 +333,7 @@ impl ModelQueue {
             waiting: Vec::new(),
             decoding: Vec::new(),
             last_served: 0,
-            last_decode: BTreeMap::new(),
+            last_decode: Vec::new(),
         }
     }
 }
@@ -376,20 +378,26 @@ pub struct Scheduler {
     future: VecDeque<(u64, RequestId)>,
     /// Sessions inside an emitted-but-not-yet-completed micro-batch. A
     /// multi-node executor overlaps several micro-batches; their sessions
-    /// must not be scheduled twice. A `BTreeSet` (bounded by the node count
-    /// times the batch bound) so membership never involves a hasher.
-    in_flight: BTreeSet<RequestId>,
+    /// must not be scheduled twice. Membership lives on the sessions
+    /// themselves ([`Session::in_flight`] in the arena); this counter only
+    /// answers [`Scheduler::in_flight_count`] in O(1).
+    in_flight_count: usize,
     /// Incremental prefill-backlog ledger: `(arrival_cycle, id) →
     /// remaining_prefill` for every session that still owes prefill tokens.
-    /// Maintained at the three places that change a session's owed prefill —
-    /// admission inserts the prompt, a completed prefill chunk debits it
-    /// (removing the entry at zero), an eviction re-credits the recompute
-    /// target — so the SLO admission check answers "how much prefill was
-    /// queued at this arrival?" from a suffix range of this map instead of
-    /// scanning every live session (see [`Scheduler::prefill_backlog_at`]).
+    /// Maintained *only when an [`SloConfig`] is set* — it exists to answer
+    /// the SLO admission check's "how much prefill was queued at this
+    /// arrival?" from a suffix range instead of a live-session scan (see
+    /// [`Scheduler::prefill_backlog_at`]), and without an SLO nothing reads
+    /// it, so the hot loop skips the per-chunk tree maintenance entirely.
+    /// The three mutation sites — admission inserts the prompt, a completed
+    /// prefill chunk debits it (removing the entry at zero), an eviction
+    /// re-credits the recompute target — all gate on
+    /// [`Scheduler::ledger_enabled`].
     pending_prefill: BTreeMap<(u64, RequestId), u64>,
-    /// Sum of every `pending_prefill` entry, maintained alongside it, so the
-    /// common in-order-arrival query (empty suffix) is O(1).
+    /// Prefill tokens still owed across every live session. Maintained
+    /// unconditionally (two integer ops per event) whatever the ledger gate,
+    /// so the control plane's demand split and the common in-order-arrival
+    /// query (empty suffix) stay O(1).
     pending_prefill_total: u64,
     /// Output tokens promised but not yet emitted across every live session
     /// — the decode-side demand counter the control plane weighs against
@@ -434,6 +442,12 @@ pub struct Scheduler {
     /// Reusable eligible-session buffer for [`Scheduler::try_form`] (filled
     /// for the decode pass, then refilled for the prefill pass).
     scratch_ids: Vec<RequestId>,
+    /// Reusable eviction-candidate buffer for
+    /// [`Scheduler::reserve_pages`]'s reclaim planning, so formations under
+    /// KV pressure allocate nothing either.
+    scratch_evict: Vec<RequestId>,
+    /// Reusable committed-victim buffer for [`Scheduler::reserve_pages`].
+    scratch_victims: Vec<RequestId>,
     /// Item vectors of retired micro-batches handed back via
     /// [`Scheduler::recycle`], reused by the next formation.
     spare_items: Vec<Vec<BatchItem>>,
@@ -481,7 +495,7 @@ impl Scheduler {
             sessions: SessionArena::new(),
             queues: Vec::new(),
             future: VecDeque::new(),
-            in_flight: BTreeSet::new(),
+            in_flight_count: 0,
             pending_prefill: BTreeMap::new(),
             pending_prefill_total: 0,
             pending_decode_tokens: 0,
@@ -499,8 +513,18 @@ impl Scheduler {
             swapped_pages: 0,
             scratch_candidates: Vec::new(),
             scratch_ids: Vec::new(),
+            scratch_evict: Vec::new(),
+            scratch_victims: Vec::new(),
             spare_items: Vec::new(),
         }
+    }
+
+    /// Whether the per-arrival prefill ledger is maintained: only an
+    /// [`SloConfig`] admission check ever reads it, so without one the hot
+    /// loop skips the tree maintenance and
+    /// [`Scheduler::prefill_backlog_at`] answers from a live-session scan.
+    fn ledger_enabled(&self) -> bool {
+        self.kv.slo.is_some()
     }
 
     /// Index of session `id` in the unretired window.
@@ -656,7 +680,9 @@ impl Scheduler {
         let arrival = request.arrival_cycle;
         let owed = u64_from_usize(request.prompt_tokens);
         if owed > 0 {
-            self.pending_prefill.insert((arrival, id), owed);
+            if self.ledger_enabled() {
+                self.pending_prefill.insert((arrival, id), owed);
+            }
             self.pending_prefill_total += owed;
         }
         self.pending_decode_tokens += u64_from_usize(request.output_tokens);
@@ -727,18 +753,29 @@ impl Scheduler {
     /// Number of sessions currently inside an emitted-but-not-completed
     /// micro-batch.
     pub fn in_flight_count(&self) -> usize {
-        self.in_flight.len()
+        self.in_flight_count
     }
 
     /// Prefill tokens still owed by sessions that arrived at or before
     /// `arrival_cycle` — the backlog the SLO admission check charges a new
-    /// arrival with. Answered from the incremental ledger by subtracting the
-    /// later-arrival suffix from the running total: O(log n + k) for k
-    /// sessions arriving strictly later, and k = 0 — a pure O(log n) probe —
-    /// for an arrival-ordered stream, the normal case. Bit-identical to the
-    /// live-session scan it replaced (a `debug_assert` in
-    /// [`Scheduler::try_submit`] pins the equivalence on every admission).
+    /// arrival with. Under an [`SloConfig`] this is answered from the
+    /// incremental ledger by subtracting the later-arrival suffix from the
+    /// running total: O(log n + k) for k sessions arriving strictly later,
+    /// and k = 0 — a pure O(log n) probe — for an arrival-ordered stream,
+    /// the normal case. Bit-identical to the live-session scan it replaced
+    /// (a `debug_assert` in [`Scheduler::try_submit`] pins the equivalence
+    /// on every admission). Without an SLO the ledger is not maintained —
+    /// nothing on the hot path reads it — so the query falls back to the
+    /// live-session scan, same answer, O(live sessions).
     pub fn prefill_backlog_at(&self, arrival_cycle: u64) -> u64 {
+        if !self.ledger_enabled() {
+            return self
+                .sessions
+                .iter()
+                .filter(|s| !s.is_finished() && s.request.arrival_cycle <= arrival_cycle)
+                .map(|s| u64_from_usize(s.remaining_prefill()))
+                .sum();
+        }
         use std::ops::Bound;
         let later: u64 = self
             .pending_prefill
@@ -765,7 +802,7 @@ impl Scheduler {
     }
 
     /// Installs an online SLO calibrator (see
-    /// [`SloCalibrator`](crate::control::SloCalibrator)): once it has
+    /// [`SloCalibrator`]): once it has
     /// observed `warmup_tokens` prefill tokens, its measured rate replaces
     /// the configured [`SloConfig::cycles_per_prefill_token`] in the
     /// admission check. Called by the executor when the control plane's
@@ -854,7 +891,7 @@ impl Scheduler {
                 let s = &self.sessions[self.sidx(v)];
                 s.page_table.home() == Some(pool)
                     && s.state != SessionState::Decoding
-                    && !self.in_flight.contains(&v)
+                    && !s.in_flight
             })
             .collect();
         let mut released_total = 0u64;
@@ -867,7 +904,9 @@ impl Scheduler {
             let prev_owed = u64_from_usize(s.remaining_prefill());
             s.preempt();
             let owed = u64_from_usize(s.remaining_prefill());
-            self.pending_prefill.insert((s.request.arrival_cycle, victim), owed);
+            if self.kv.slo.is_some() {
+                self.pending_prefill.insert((s.request.arrival_cycle, victim), owed);
+            }
             self.pending_prefill_total = self.pending_prefill_total - prev_owed + owed;
             self.preempted += 1;
             self.reprefill_tokens += lost_tokens;
@@ -1012,7 +1051,8 @@ impl Scheduler {
 
     /// Whether `id` may be scheduled at `now`.
     fn schedulable(&self, id: RequestId, now: u64) -> bool {
-        !self.in_flight.contains(&id) && self.sessions[self.sidx(id)].is_runnable(now)
+        let s = &self.sessions[self.sidx(id)];
+        !s.in_flight && s.is_runnable(now)
     }
 
     /// Whether `id` may be scheduled at `now` out of KV pool `pool`: it must
@@ -1060,6 +1100,13 @@ impl Scheduler {
         phase: PhaseFilter,
     ) -> Option<MicroBatch> {
         self.release_arrivals(now);
+        // Single-model fast path: with one queue there is nothing to rank,
+        // and `try_form` re-checks eligibility itself (an attempt with no
+        // eligible session forms nothing and changes nothing observable),
+        // so the candidate pass below would only duplicate its scans.
+        if self.queues.len() == 1 {
+            return self.form_from(now, pool, 0, phase);
+        }
         // Rank models by least-recently-served; ties (e.g. never-served
         // models) go to the oldest eligible session. Tracking actual service
         // instead of an index into the ever-shifting runnable set means a
@@ -1070,37 +1117,61 @@ impl Scheduler {
         let mut candidates = std::mem::take(&mut self.scratch_candidates);
         candidates.clear();
         candidates.extend(self.queues.iter().enumerate().filter_map(|(qi, q)| {
-            q.decoding
-                .iter()
-                .filter(|_| phase.decode())
-                .chain(q.waiting.iter().filter(|_| phase.prefill()))
-                .filter(|&&id| self.eligible_on(id, now, pool))
-                .map(|&id| id)
-                .min()
-                .map(|oldest| (q.last_served, oldest, qi))
+            // Each queue is sorted ascending, so the oldest eligible session
+            // is the *first* eligible one per queue — `find` short-circuits
+            // there, instead of probing eligibility across the whole
+            // decode/waiting population like the old chained `min` did. In
+            // steady state (front of each queue runnable) this is O(1) per
+            // queue.
+            let dec = if phase.decode() {
+                q.decoding.iter().copied().find(|&id| self.eligible_on(id, now, pool))
+            } else {
+                None
+            };
+            let wait = if phase.prefill() {
+                q.waiting.iter().copied().find(|&id| self.eligible_on(id, now, pool))
+            } else {
+                None
+            };
+            let oldest = match (dec, wait) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            oldest.map(|oldest| (q.last_served, oldest, qi))
         }));
         candidates.sort();
         let mut formed = None;
         for &(_, _, qi) in &candidates {
-            let (items, evicted_pages, swapped_out) = self.try_form(now, pool, qi, phase);
-            if items.is_empty() {
-                continue;
+            formed = self.form_from(now, pool, qi, phase);
+            if formed.is_some() {
+                break;
             }
-            self.serve_counter += 1;
-            self.queues[qi].last_served = self.serve_counter;
-            for item in &items {
-                self.in_flight.insert(item.id);
-            }
-            formed = Some(MicroBatch {
-                model: self.queues[qi].model,
-                items,
-                evicted_pages,
-                swapped_out,
-            });
-            break;
         }
         self.scratch_candidates = candidates;
         formed
+    }
+
+    /// One formation attempt against queue `qi`: on success, bumps the
+    /// serve rotation and marks every scheduled session in flight.
+    fn form_from(
+        &mut self,
+        now: u64,
+        pool: usize,
+        qi: usize,
+        phase: PhaseFilter,
+    ) -> Option<MicroBatch> {
+        let (items, evicted_pages, swapped_out) = self.try_form(now, pool, qi, phase);
+        if items.is_empty() {
+            return None;
+        }
+        self.serve_counter += 1;
+        self.queues[qi].last_served = self.serve_counter;
+        for item in &items {
+            let i = self.sidx(item.id);
+            self.sessions[i].in_flight = true;
+        }
+        self.in_flight_count += items.len();
+        Some(MicroBatch { model: self.queues[qi].model, items, evicted_pages, swapped_out })
     }
 
     /// Tries to form a micro-batch for the model of queue `qi` out of KV
@@ -1144,7 +1215,7 @@ impl Scheduler {
                     .filter(|&id| self.eligible_on(id, now, pool)),
             );
             if decode_order == DecodeOrder::RoundRobin && !decoding.is_empty() {
-                if let Some(&last) = self.queues[qi].last_decode.get(&pool) {
+                if let Some(last) = self.queues[qi].last_decode.get(pool).copied().flatten() {
                     // Start with the oldest session strictly after the last
                     // one served; `split == len` wraps to the front, which
                     // makes the rotation identical to FCFS whenever every
@@ -1188,7 +1259,11 @@ impl Scheduler {
             }
             self.scratch_ids = decoding;
             if let Some(last) = last_granted {
-                self.queues[qi].last_decode.insert(pool, last);
+                let cursors = &mut self.queues[qi].last_decode;
+                if cursors.len() <= pool {
+                    cursors.resize(pool + 1, None);
+                }
+                cursors[pool] = Some(last);
             }
         }
 
@@ -1294,7 +1369,8 @@ impl Scheduler {
             return true;
         }
         let mut reclaimable = self.pools[pool].free_pages();
-        let mut victims: Vec<RequestId> = Vec::new();
+        let mut victims = std::mem::take(&mut self.scratch_victims);
+        victims.clear();
         if reclaimable < growth {
             // Most-recently-admitted first: the newest page holders pay,
             // which keeps the oldest session unpreemptable (liveness). Only
@@ -1304,34 +1380,40 @@ impl Scheduler {
             // queues enumerate exactly the candidate set — an
             // in-flight-sized scan, not one over every session ever
             // submitted.
-            let mut candidates: Vec<RequestId> = self
-                .queues
-                .iter()
-                .flat_map(|q| q.waiting.iter().chain(q.decoding.iter()))
-                .copied()
-                .filter(|&v| {
-                    let s = &self.sessions[self.sidx(v)];
-                    s.page_table.home() == Some(pool)
-                        && v > id
-                        && !self.in_flight.contains(&v)
-                        && !in_batch.iter().any(|it| it.id == v)
-                })
-                .collect();
+            let mut candidates = std::mem::take(&mut self.scratch_evict);
+            candidates.clear();
+            candidates.extend(
+                self.queues
+                    .iter()
+                    .flat_map(|q| q.waiting.iter().chain(q.decoding.iter()))
+                    .copied()
+                    .filter(|&v| {
+                        let s = &self.sessions[self.sidx(v)];
+                        s.page_table.home() == Some(pool)
+                            && v > id
+                            && !s.in_flight
+                            && !in_batch.iter().any(|it| it.id == v)
+                    }),
+            );
             candidates.sort_unstable_by(|a, b| b.cmp(a));
-            for victim in candidates {
+            for &victim in &candidates {
                 if reclaimable >= growth {
                     break;
                 }
                 reclaimable += self.sessions[self.sidx(victim)].page_table.mapped_pages();
                 victims.push(victim);
             }
+            self.scratch_evict = candidates;
             if reclaimable < growth {
+                victims.clear();
+                self.scratch_victims = victims;
                 return false;
             }
         }
         let swap_eligible =
             self.kv.preemption == PreemptionMode::Swap && self.pool_role(pool) == PoolRole::Decode;
-        for victim in victims {
+        for k in 0..victims.len() {
+            let victim = victims[k];
             let vi = self.sidx(victim);
             let victim_pages = self.sessions[vi].page_table.mapped_pages();
             let swap_target = if swap_eligible && self.sessions[vi].state == SessionState::Decoding
@@ -1366,7 +1448,9 @@ impl Scheduler {
                 // ledger entry (absent when the victim had fully prefilled)
                 // is replaced wholesale rather than adjusted.
                 let owed = u64_from_usize(s.remaining_prefill());
-                self.pending_prefill.insert((s.request.arrival_cycle, victim), owed);
+                if self.kv.slo.is_some() {
+                    self.pending_prefill.insert((s.request.arrival_cycle, victim), owed);
+                }
                 self.pending_prefill_total = self.pending_prefill_total - prev_owed + owed;
                 let model = s.request.model;
                 let queue = self
@@ -1381,6 +1465,8 @@ impl Scheduler {
                 *evicted_pages += released;
             }
         }
+        victims.clear();
+        self.scratch_victims = victims;
         let i = self.sidx(id);
         let grown = self.sessions[i].page_table.grow(pool, &mut self.pools[pool], need);
         debug_assert!(grown, "reclaim guaranteed the free pages");
@@ -1493,28 +1579,38 @@ impl Scheduler {
     /// # Panics
     /// Panics if the batch references an id this scheduler did not issue.
     pub fn complete(&mut self, batch: &MicroBatch, end_cycle: u64) {
+        // One queue serves the whole batch: resolve it once, not per item.
+        let qi = self
+            .queues
+            .iter()
+            .position(|q| q.model == batch.model)
+            .expect("completed batch's model has a queue");
         for item in &batch.items {
             let i = self.sidx(item.id);
             let s = &mut self.sessions[i];
             match item.phase {
                 Phase::Prefill => {
-                    // Debit the chunk from the backlog ledger, dropping the
-                    // entry once the session owes nothing.
-                    let key = (s.request.arrival_cycle, item.id);
+                    // Debit the chunk from the backlog ledger (maintained
+                    // only under an SLO), dropping the entry once the
+                    // session owes nothing; the running total is maintained
+                    // unconditionally.
                     let paid = u64_from_usize(item.tokens);
-                    let owed = {
-                        let owed = self
-                            .pending_prefill
-                            .get_mut(&key)
-                            .expect("a prefill chunk debits a ledgered session");
-                        debug_assert!(*owed >= paid, "chunk exceeds ledgered prefill debt");
-                        *owed -= paid;
-                        *owed
-                    };
-                    self.pending_prefill_total -= paid;
-                    if owed == 0 {
-                        self.pending_prefill.remove(&key);
+                    if self.kv.slo.is_some() {
+                        let key = (s.request.arrival_cycle, item.id);
+                        let owed = {
+                            let owed = self
+                                .pending_prefill
+                                .get_mut(&key)
+                                .expect("a prefill chunk debits a ledgered session");
+                            debug_assert!(*owed >= paid, "chunk exceeds ledgered prefill debt");
+                            *owed -= paid;
+                            *owed
+                        };
+                        if owed == 0 {
+                            self.pending_prefill.remove(&key);
+                        }
                     }
+                    self.pending_prefill_total -= paid;
                     s.prefilled_tokens += item.tokens;
                     debug_assert!(s.prefilled_tokens <= s.prefill_target);
                     if s.remaining_prefill() == 0 {
@@ -1548,6 +1644,7 @@ impl Scheduler {
                 }
             }
             s.ready_cycle = s.ready_cycle.max(end_cycle);
+            s.in_flight = false;
             let state = s.state;
             if state == SessionState::Finished {
                 if let Some(home) = s.page_table.home() {
@@ -1555,12 +1652,8 @@ impl Scheduler {
                     table.release_all(&mut self.pools[home]);
                 }
             }
-            self.in_flight.remove(&item.id);
-            let queue = self
-                .queues
-                .iter_mut()
-                .find(|q| q.model == batch.model)
-                .expect("completed batch's model has a queue");
+            self.in_flight_count -= 1;
+            let queue = &mut self.queues[qi];
             match state {
                 SessionState::Prefilling => {}
                 SessionState::Decoding => {

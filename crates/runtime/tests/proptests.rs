@@ -13,6 +13,7 @@
 
 use mugi::arch::noc::NocConfig;
 use mugi::MugiAccelerator;
+use mugi_runtime::kv::oracle as kv_oracle;
 use mugi_runtime::{
     pages_for, EventEngine, EventQueue, Executor, ExecutorConfig, KvConfig, KvPool, PageId,
     PageTable, Placement, Request, Scheduler, SchedulerConfig, SchedulingPolicy, SessionArena,
@@ -56,6 +57,18 @@ prop_compose! {
         tokens in 0usize..600,
     ) -> (usize, usize) {
         (table, tokens)
+    }
+}
+
+// One two-pool paging operation: table index, action (0 = grow, 1 = release
+// everything, 2 = migrate to the other pool) and a token target.
+prop_compose! {
+    fn kv_migration_op_strategy()(
+        table in 0usize..4,
+        action in 0usize..3,
+        tokens in 1usize..400,
+    ) -> (usize, usize, usize) {
+        (table, action, tokens)
     }
 }
 
@@ -242,30 +255,133 @@ proptest! {
         capacity in 1usize..48,
         ops in prop::collection::vec(kv_op_strategy(), 1..80),
     ) {
-        // Random grow/release sequences over six tables sharing one pool:
-        // after *every* operation — including failed allocations — the free
-        // list plus all mapped pages must equal the capacity exactly, and
-        // no page may ever be mapped by two tables at once.
+        // Random grow/release sequences over six tables sharing one pool,
+        // driven in lockstep against the retained pre-extent free-list
+        // allocator (`kv::oracle`): every operation must have the same
+        // outcome on both, every observable count must agree, and on the
+        // extent side the free bitmap plus all mapped pages must equal the
+        // capacity exactly with no page ever mapped by two tables at once.
         let page_tokens = 16;
         let mut pool = KvPool::bounded(capacity);
+        let mut reference = kv_oracle::Pool::bounded(capacity);
         let mut tables: Vec<PageTable> = (0..6).map(|_| PageTable::new()).collect();
+        let mut ref_tables: Vec<kv_oracle::Table> =
+            (0..6).map(|_| kv_oracle::Table::new()).collect();
         for (t, tokens) in ops {
             if tokens == 0 {
-                tables[t].release_all(&mut pool);
+                let released = tables[t].release_all(&mut pool);
+                let ref_released = ref_tables[t].release_all(&mut reference);
+                prop_assert_eq!(released, ref_released, "release count diverged");
             } else {
                 let target = pages_for(tokens, page_tokens);
                 let grew = tables[t].grow(0, &mut pool, target);
+                let ref_grew = ref_tables[t].grow(0, &mut reference, target);
+                prop_assert_eq!(grew, ref_grew, "grow outcome diverged from the oracle");
                 prop_assert_eq!(grew, tables[t].mapped_pages() >= target);
+            }
+            // Every count the scheduler can observe agrees with the oracle.
+            prop_assert_eq!(pool.free_pages(), reference.free_pages());
+            prop_assert_eq!(pool.used_pages(), reference.used_pages());
+            prop_assert_eq!(pool.peak_used_pages(), reference.peak_used_pages());
+            for (a, b) in tables.iter().zip(&ref_tables) {
+                prop_assert_eq!(a.mapped_pages(), b.mapped_pages(), "table size diverged");
+                prop_assert_eq!(a.home(), b.home(), "table home diverged");
             }
             let mapped: usize = tables.iter().map(PageTable::mapped_pages).sum();
             prop_assert_eq!(pool.free_pages() + mapped, capacity, "page leak or double-count");
-            let mut all: Vec<PageId> =
-                tables.iter().flat_map(|t| t.pages().iter().copied()).collect();
+            let mut all: Vec<PageId> = tables.iter().flat_map(PageTable::page_ids).collect();
             let total = all.len();
             all.sort_unstable();
             all.dedup();
             prop_assert_eq!(all.len(), total, "a page is mapped by two tables");
             prop_assert!(all.iter().all(|p| (p.0 as usize) < capacity), "page id out of range");
+            for table in &tables {
+                let from_extents: usize = table.extents().iter().map(|e| e.len as usize).sum();
+                prop_assert_eq!(
+                    from_extents,
+                    table.mapped_pages(),
+                    "extent list disagrees with the cached page count"
+                );
+                prop_assert!(
+                    table.extents().iter().all(|e| e.len > 0),
+                    "a mapped extent may never be empty"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kv_migration_matches_the_pre_extent_oracle(
+        cap_a in 1usize..24,
+        cap_b in 1usize..24,
+        ops in prop::collection::vec(kv_migration_op_strategy(), 1..60),
+    ) {
+        // Grow/release/migrate sequences over two pools, extent allocator
+        // and pre-extent oracle in lockstep: migration outcomes (including
+        // refusals when the target lacks room), page counts and homes must
+        // never diverge, and pages must be conserved across both pools.
+        let page_tokens = 16;
+        let caps = [cap_a, cap_b];
+        let mut pools = [KvPool::bounded(cap_a), KvPool::bounded(cap_b)];
+        let mut refs = [kv_oracle::Pool::bounded(cap_a), kv_oracle::Pool::bounded(cap_b)];
+        let mut tables: Vec<PageTable> = (0..4).map(|_| PageTable::new()).collect();
+        let mut ref_tables: Vec<kv_oracle::Table> =
+            (0..4).map(|_| kv_oracle::Table::new()).collect();
+        for (t, action, tokens) in ops {
+            let home = tables[t].home();
+            prop_assert_eq!(home, ref_tables[t].home());
+            match action {
+                // Grow on the current home (or pool 0 while homeless).
+                0 => {
+                    let pool = home.unwrap_or(0);
+                    let target = pages_for(tokens, page_tokens);
+                    let grew = tables[t].grow(pool, &mut pools[pool], target);
+                    let ref_grew = ref_tables[t].grow(pool, &mut refs[pool], target);
+                    prop_assert_eq!(grew, ref_grew, "grow outcome diverged");
+                }
+                // Release everything.
+                1 => {
+                    if let Some(pool) = home {
+                        let a = tables[t].release_all(&mut pools[pool]);
+                        let b = ref_tables[t].release_all(&mut refs[pool]);
+                        prop_assert_eq!(a, b, "release count diverged");
+                    }
+                }
+                // Migrate to the other pool (only legal with pages mapped).
+                _ => {
+                    if let Some(from) = home {
+                        let (a, b) = if from == 0 {
+                            let [p0, p1] = &mut pools;
+                            let [r0, r1] = &mut refs;
+                            (tables[t].migrate(p0, 1, p1), ref_tables[t].migrate(r0, 1, r1))
+                        } else {
+                            let [p0, p1] = &mut pools;
+                            let [r0, r1] = &mut refs;
+                            (tables[t].migrate(p1, 0, p0), ref_tables[t].migrate(r1, 0, r0))
+                        };
+                        prop_assert_eq!(a, b, "migration outcome diverged");
+                    }
+                }
+            }
+            for pool in 0..2 {
+                prop_assert_eq!(pools[pool].free_pages(), refs[pool].free_pages());
+                prop_assert_eq!(pools[pool].peak_used_pages(), refs[pool].peak_used_pages());
+                let mapped: usize = tables
+                    .iter()
+                    .filter(|tb| tb.home() == Some(pool))
+                    .map(PageTable::mapped_pages)
+                    .sum();
+                prop_assert_eq!(
+                    pools[pool].free_pages() + mapped,
+                    caps[pool],
+                    "page leak or double-count in pool {}",
+                    pool
+                );
+            }
+            for (a, b) in tables.iter().zip(&ref_tables) {
+                prop_assert_eq!(a.mapped_pages(), b.mapped_pages());
+                prop_assert_eq!(a.home(), b.home());
+            }
         }
     }
 

@@ -243,7 +243,10 @@ impl OpTrace {
         kvq: bool,
     ) -> Self {
         assert!(!slices.is_empty(), "slices must be non-empty");
-        let mut ops = Vec::new();
+        // Each slice contributes a fixed op sequence (7 GEMMs + 2
+        // nonlinears); reserving it up front keeps trace generation free of
+        // incremental reallocation.
+        let mut ops = Vec::with_capacity(slices.len() * 9);
         for slice in slices {
             push_slice_ops(model, *slice, woq, kvq, &mut ops);
         }
